@@ -1,0 +1,67 @@
+"""Ablation: which of Pimba's three design choices buys what.
+
+Not a paper figure — an ablation over the design decisions Sections
+5.2/5.3/5.5 argue for, isolating each on the same state-update sweep:
+
+1. **MX8 vs fp16 state** (Section 5.3): halves rows swept.
+2. **Shared SPU vs per-bank units** (Section 5.2): same schedule length,
+   half the processing units -> area, not time.
+3. **Fig. 11 command overlap** (Section 5.5): hides REG_WRITE/RESULT_READ
+   in activation/precharge shadows (quantified via the scheduler's
+   exposed-I/O accounting).
+"""
+
+from conftest import print_table, run_once
+
+from repro.core import (
+    PimbaAccelerator,
+    hbm_pim_config,
+    per_bank_pipelined_config,
+    pimba_config,
+)
+from repro.hw import area_overhead_percent
+from repro.models import mamba2_2p7b
+
+
+def _ablation():
+    spec = mamba2_2p7b()
+    heads = 128 * spec.n_heads
+    variants = {
+        "pimba (mx8SR, shared, overlap)": pimba_config(),
+        "- MX8 (fp16 state)": pimba_config(state_format="fp16"),
+        "- sharing (per-bank units)": per_bank_pipelined_config(
+            state_format="mx8SR"
+        ),
+        "- overlap & pipeline (HBM-PIM)": hbm_pim_config(),
+    }
+    rows = []
+    for name, cfg in variants.items():
+        pim = PimbaAccelerator(cfg)
+        t = pim.state_update_timing(heads, spec.dim_head, spec.dim_state)
+        io = t.sweep.exposed_io_cycles / max(1, t.sweep.bus_cycles) * 100
+        rows.append([
+            name, t.seconds * 1e6, area_overhead_percent(cfg), io,
+        ])
+    return rows
+
+
+def test_design_choice_ablation(benchmark):
+    rows = run_once(benchmark, _ablation)
+    print_table(
+        "Ablation: Mamba-2 2.7B state-update sweep, batch 128 (per layer)",
+        ["variant", "latency us", "area %", "exposed I/O %"], rows,
+    )
+    by_name = {r[0]: r[1:] for r in rows}
+    base_lat, base_area, base_io = by_name["pimba (mx8SR, shared, overlap)"]
+
+    # 1. Dropping MX8 roughly doubles the sweep (2x rows), same area class.
+    fp16_lat, fp16_area, _ = by_name["- MX8 (fp16 state)"]
+    assert 1.6 < fp16_lat / base_lat < 2.4
+    # 2. Dropping sharing keeps latency but roughly doubles area.
+    nb_lat, nb_area, _ = by_name["- sharing (per-bank units)"]
+    assert nb_lat == base_lat
+    assert 1.6 < nb_area / base_area < 2.6
+    # 3. The HBM-PIM baseline exposes operand I/O and serial passes.
+    hb_lat, _, hb_io = by_name["- overlap & pipeline (HBM-PIM)"]
+    assert hb_lat > 4 * base_lat
+    assert hb_io > base_io

@@ -1,0 +1,67 @@
+"""Fig. 1 — motivation: transformer vs. Mamba-2, and the roofline.
+
+(a) memory usage and generation throughput of a 2.7B transformer vs.
+    Mamba-2 (paper: 2.3x less memory, 2.6x higher throughput);
+(b) roofline placement of GEMM / attention / state update (paper: both
+    mixers far left of the ridge; state update above attention).
+"""
+
+from conftest import print_table, run_once
+
+from repro.models import mamba2_2p7b, spec_for
+from repro.perf import OpKind, SystemKind, build_system, roofline_points
+
+
+def _fig1a():
+    system = build_system(SystemKind.GPU, "small")
+    transformer = spec_for("OPT")
+    mamba = mamba2_2p7b()
+    seq = 4096
+    rows = []
+    for spec in (transformer, mamba):
+        mem = system.memory_usage(spec, 32, seq) / 2**30
+        tput = system.generation_metrics(spec, 32).tokens_per_second
+        rows.append([spec.name, mem, tput])
+    return rows
+
+
+def test_fig1a_memory_and_throughput(benchmark):
+    rows = run_once(benchmark, _fig1a)
+    print_table("Fig. 1(a): transformer vs Mamba-2 (batch 32)",
+                ["model", "memory GiB", "throughput tok/s"], rows)
+    (opt_mem, opt_tput), (mamba_mem, mamba_tput) = (r[1:] for r in rows)
+    assert opt_mem / mamba_mem > 1.8          # paper: 2.3x less memory
+    assert mamba_tput / opt_tput > 1.8        # paper: 2.6x higher throughput
+
+
+def _fig1b():
+    # The paper plots two GEMM markers (intensity ~28 and ~140): GEMV-like
+    # small-batch GEMMs are memory-bound, large-batch GEMMs compute-bound.
+    out = {}
+    for batch in (32, 256):
+        points = roofline_points(spec_for("Zamba2"), batch, 2048)
+        out[batch] = {
+            kind: (p.intensity, p.attained_tflops, p.memory_bound)
+            for kind, p in points.items()
+        }
+    return out
+
+
+def test_fig1b_roofline(benchmark):
+    data = run_once(benchmark, _fig1b)
+    rows = [
+        [batch, kind.value, intensity, tflops, "memory" if mb else "compute"]
+        for batch, points in data.items()
+        for kind, (intensity, tflops, mb) in sorted(
+            points.items(), key=lambda kv: kv[1][0]
+        )
+    ]
+    print_table("Fig. 1(b): roofline (Zamba2)",
+                ["batch", "op", "FLOPs/byte", "attained TFLOPS", "bound"], rows)
+    small = data[32]
+    assert small[OpKind.STATE_UPDATE][0] > small[OpKind.ATTENTION][0]
+    assert small[OpKind.STATE_UPDATE][2] and small[OpKind.ATTENTION][2]
+    # Mixers stay memory-bound even at batch 256; GEMM crosses the ridge.
+    large = data[256]
+    assert large[OpKind.STATE_UPDATE][2] and large[OpKind.ATTENTION][2]
+    assert not large[OpKind.GEMM][2]

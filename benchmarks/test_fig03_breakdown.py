@@ -1,0 +1,55 @@
+"""Fig. 3 — GPU latency breakdown during generation across SU-LLMs.
+
+Paper: state updates dominate and their share grows with batch size
+(RetNet: 41.9% at batch 32 -> 73.8% at batch 128); in Zamba2 attention
+remains a large fraction despite 6x fewer attention layers.
+"""
+
+import pytest
+from conftest import print_table, run_once
+
+from repro.models import spec_for
+from repro.perf import OpKind, SystemKind, build_system
+
+MODELS = ("RetNet", "GLA", "HGRN2", "Mamba-2", "Zamba2")
+BATCHES = (32, 64, 128)
+
+
+def _fig3():
+    system = build_system(SystemKind.GPU, "small")
+    out = {}
+    for name in MODELS:
+        spec = spec_for(name)
+        for batch in BATCHES:
+            step = system.step_latency(spec, batch, 2048)
+            out[(name, batch)] = {
+                kind.value: step.fraction(kind) * 100
+                for kind in OpKind
+                if step.seconds_by_kind.get(kind)
+            }
+    return out
+
+
+def test_fig3_latency_breakdown(benchmark):
+    data = run_once(benchmark, _fig3)
+    kinds = [k.value for k in (
+        OpKind.STATE_UPDATE, OpKind.ATTENTION, OpKind.DISCRETIZATION,
+        OpKind.CAUSAL_CONV, OpKind.GEMM, OpKind.OTHER,
+    )]
+    rows = [
+        [name, batch] + [data[(name, batch)].get(k, 0.0) for k in kinds]
+        for name in MODELS for batch in BATCHES
+    ]
+    print_table("Fig. 3: generation-phase latency share (%) on GPU",
+                ["model", "batch"] + kinds, rows)
+
+    retnet32 = data[("RetNet", 32)]["State Update"]
+    retnet128 = data[("RetNet", 128)]["State Update"]
+    assert retnet32 == pytest.approx(41.9, abs=8)
+    assert retnet128 == pytest.approx(73.8, abs=8)
+    for name in MODELS:
+        assert (
+            data[(name, 128)]["State Update"] > data[(name, 32)]["State Update"]
+        )
+    zamba = data[("Zamba2", 128)]
+    assert zamba["Attention"] > 30  # paper: 65.5% at batch 128

@@ -1,0 +1,53 @@
+"""Fig. 6 — accuracy-area tradeoff of low-precision formats on Mamba-2.
+
+Paper: fp16 is accurate but enormous; int8(+SR) is accurate but carries
+dequant/requant logic; fp8 is small but inaccurate; MX8 (+SR, at
+negligible extra area) is Pareto-optimal.  Stochastic rounding costs
+almost nothing in area.
+"""
+
+from conftest import print_table, run_once
+
+from repro.accuracy import quantization_sweep
+from repro.hw import format_overhead_percent
+from repro.models import Family
+from repro.quant import FIG4_FORMATS
+
+FORMATS = FIG4_FORMATS  # fp16, int8(SR), e4m3(SR), e5m2(SR), mx8(SR)
+
+
+def _fig6():
+    ppl = quantization_sweep(Family.MAMBA2, FORMATS, batch=2, seq_len=320)
+    return {
+        fmt: (format_overhead_percent(fmt), ppl[fmt]) for fmt in FORMATS
+    }, ppl["fp64"]
+
+
+def _dominates(a, b) -> bool:
+    """True if point a is at least as good as b on both axes, better on one."""
+    (area_a, ppl_a), (area_b, ppl_b) = a, b
+    return area_a <= area_b and ppl_a <= ppl_b and (area_a, ppl_a) != (area_b, ppl_b)
+
+
+def test_fig6_accuracy_area_pareto(benchmark):
+    points, base_ppl = run_once(benchmark, _fig6)
+    rows = [[fmt, area, ppl] for fmt, (area, ppl) in points.items()]
+    print_table(f"Fig. 6: area vs perplexity (Mamba-2, fp64 ppl={base_ppl:.1f})",
+                ["format", "area overhead %", "perplexity"], rows)
+
+    # fp16 is the area ceiling.
+    assert points["fp16"][0] == max(p[0] for p in points.values())
+    # int8 add logic costs well over mx8 (Section 4.2's dequant/requant).
+    assert points["int8"][0] > 1.3 * points["mx8"][0]
+    # SR is nearly free in area.
+    for fmt in ("int8", "e4m3", "e5m2", "mx8"):
+        assert points[fmt + "SR"][0] - points[fmt][0] < 1.0
+    # mx8SR is accurate (near the fp64 reference)...
+    assert points["mx8SR"][1] < base_ppl * 1.08
+    # ...and no non-MX accurate format dominates the MX family: nothing
+    # else is both smaller and at least as accurate.
+    accurate = {f: p for f, p in points.items() if p[1] < base_ppl * 1.08}
+    assert not any(
+        _dominates(p, points["mx8SR"])
+        for f, p in accurate.items() if not f.startswith("mx8")
+    )

@@ -1,0 +1,57 @@
+"""Fig. 12 — normalized generation throughput across systems and scales.
+
+Paper: GPU+Q ~1.4x, GPU+PIM ~1.4x, Pimba 1.9x average (up to 4.1x) over
+the GPU baseline, at (2048, 2048) input/output lengths, batches 32-128,
+small (2.7B/7B) and large (~70B) scales.
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.models import MODEL_NAMES, spec_for
+from repro.perf import SystemKind, build_system
+
+SYSTEMS = (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM, SystemKind.PIMBA)
+BATCHES = (32, 64, 128)
+
+
+def _fig12():
+    out = {}
+    for scale in ("small", "large"):
+        for name in MODEL_NAMES:
+            spec = spec_for(name, scale)
+            for batch in BATCHES:
+                tput = {
+                    kind: build_system(kind, scale)
+                    .generation_metrics(spec, batch).tokens_per_second
+                    for kind in SYSTEMS
+                }
+                base = tput[SystemKind.GPU]
+                out[(scale, name, batch)] = {
+                    k.value: v / base for k, v in tput.items()
+                }
+    return out
+
+
+def test_fig12_generation_throughput(benchmark):
+    data = run_once(benchmark, _fig12)
+    rows = [
+        [scale, name, batch] + [data[(scale, name, batch)][k.value] for k in SYSTEMS]
+        for (scale, name, batch) in data
+    ]
+    print_table("Fig. 12: normalized generation throughput",
+                ["scale", "model", "batch"] + [k.value for k in SYSTEMS], rows)
+
+    pimba = np.array([d["Pimba"] for d in data.values()])
+    gpu_q = np.array([d["GPU+Q"] for d in data.values()])
+    gpu_pim = np.array([d["GPU+PIM"] for d in data.values()])
+
+    # Pimba always wins, and beats GPU+PIM everywhere.
+    assert np.all(pimba > 1.0)
+    assert np.all(pimba >= gpu_pim * 0.999)
+    # Average bands (paper: 1.4 / 1.4 / 1.9).
+    assert 1.15 < float(np.exp(np.log(gpu_q).mean())) < 1.7
+    assert 1.1 < float(np.exp(np.log(gpu_pim).mean())) < 1.9
+    assert 1.6 < float(np.exp(np.log(pimba).mean())) < 3.0
+    # Peak speedup in the "up to" range.
+    assert pimba.max() > 3.0

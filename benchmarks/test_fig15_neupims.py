@@ -1,0 +1,53 @@
+"""Fig. 15 — Pimba vs. NeuPIMs: latency and memory vs. output tokens.
+
+Paper: on Zamba2-70B, batch 128, (1024, 1024), Pimba consistently shows
+lower latency than NeuPIMs (which cannot offload state updates) with a
+similar scaling slope, and lower memory thanks to MX8 states and KV.
+"""
+
+from conftest import print_table, run_once
+
+from repro.models import spec_for
+from repro.perf import SystemKind, build_system
+from repro.workloads import ServingSimulator, uniform_batch
+
+CHECKPOINTS = (125, 256, 512, 768, 1024)
+
+
+def _fig15():
+    spec = spec_for("Zamba2", "large")
+    batch = uniform_batch(128, 1024, 1024)
+    out = {}
+    for kind in (SystemKind.PIMBA, SystemKind.NEUPIMS):
+        system = build_system(kind, "large")
+        sim = ServingSimulator(system, spec)
+        curve = sim.latency_curve(batch, CHECKPOINTS)
+        memory = {
+            n: system.memory_usage(spec, 128, 1024 + n) / 2**30
+            for n in CHECKPOINTS
+        }
+        out[kind.value] = (curve, memory)
+    return out
+
+
+def test_fig15_pimba_vs_neupims(benchmark):
+    data = run_once(benchmark, _fig15)
+    rows = []
+    for n in CHECKPOINTS:
+        rows.append([
+            n,
+            data["Pimba"][0][n] * 1e3, data["NeuPIMs"][0][n] * 1e3,
+            data["Pimba"][1][n], data["NeuPIMs"][1][n],
+        ])
+    print_table("Fig. 15: Zamba2-70B, batch 128 (cumulative latency, memory)",
+                ["output tokens", "Pimba ms", "NeuPIMs ms",
+                 "Pimba GiB", "NeuPIMs GiB"], rows)
+
+    for n in CHECKPOINTS:
+        assert data["Pimba"][0][n] < data["NeuPIMs"][0][n]
+        assert data["Pimba"][1][n] < data["NeuPIMs"][1][n]
+    # Similar scaling: latency grows with output length for both, and the
+    # slope ratio stays bounded.
+    slope = lambda c: (c[1024] - c[125]) / (1024 - 125)
+    ratio = slope(data["NeuPIMs"][0]) / slope(data["Pimba"][0])
+    assert 1.0 < ratio < 4.0

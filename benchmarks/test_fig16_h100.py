@@ -1,0 +1,45 @@
+"""Fig. 16 — generality: the same study on an H100/HBM3/NVLink4 system.
+
+Paper: with 40 HBM3 modules at 2.626 GHz (SPU at 657 MHz) and NVLink4,
+Pimba keeps its advantage: 1.8x over GPU and 1.3x over GPU+PIM on
+average — the design is not tied to the A100.
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.models import MODEL_NAMES, spec_for
+from repro.perf import ServingSystem, SystemKind, h100, nvlink4
+
+SYSTEMS = (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM, SystemKind.PIMBA)
+
+
+def _fig16():
+    out = {}
+    for name in MODEL_NAMES:
+        spec = spec_for(name, "large")
+        for batch in (32, 128):
+            tput = {
+                kind: ServingSystem(kind, gpu=h100(), n_devices=8, link=nvlink4())
+                .generation_metrics(spec, batch).tokens_per_second
+                for kind in SYSTEMS
+            }
+            base = tput[SystemKind.GPU]
+            out[(name, batch)] = {k.value: v / base for k, v in tput.items()}
+    return out
+
+
+def test_fig16_h100_throughput(benchmark):
+    data = run_once(benchmark, _fig16)
+    rows = [
+        [name, batch] + [data[(name, batch)][k.value] for k in SYSTEMS]
+        for (name, batch) in data
+    ]
+    print_table("Fig. 16: normalized throughput on H100 + HBM3 + NVLink4",
+                ["model", "batch"] + [k.value for k in SYSTEMS], rows)
+
+    pimba = np.array([d["Pimba"] for d in data.values()])
+    gpu_pim = np.array([d["GPU+PIM"] for d in data.values()])
+    assert np.all(pimba > 1.0)
+    assert 1.4 < float(np.exp(np.log(pimba).mean())) < 3.0        # paper: 1.8x
+    assert 1.1 < float(np.exp(np.log(pimba / gpu_pim).mean())) < 2.2  # paper: 1.3x

@@ -1,0 +1,45 @@
+"""Table 2 — downstream accuracy: GPU (fp16) vs. Pimba (MX8 + SR).
+
+Paper: across WikiText-2 perplexity and six multiple-choice benchmarks,
+Pimba's MX8+SR state/KV storage changes geomean accuracy by at most a
+few tenths of a point (-0.3 .. +0.1).
+
+Offline substitution: proxy tasks whose choices are separable only
+through long-range state (``repro.accuracy.tasks``).
+"""
+
+from conftest import print_table, run_once
+
+from repro.accuracy import TABLE2_TASKS, table2_row
+from repro.models import Family
+
+FAMILIES = (Family.RETNET, Family.GLA, Family.MAMBA2, Family.TRANSFORMER)
+N_ITEMS = 16
+
+
+def _table2():
+    return [table2_row(family, n_items=N_ITEMS) for family in FAMILIES]
+
+
+def test_table2_accuracy(benchmark):
+    rows_data = run_once(benchmark, _table2)
+    header = (["model", "method", "ppl"]
+              + [t.name for t in TABLE2_TASKS] + ["geomean"])
+    rows = []
+    for row in rows_data:
+        rows.append([row.model, "GPU", row.gpu_perplexity]
+                    + [row.gpu_accuracy[t.name] * 100 for t in TABLE2_TASKS]
+                    + [row.gpu_geomean * 100])
+        rows.append([row.model, "Pimba", row.pimba_perplexity]
+                    + [row.pimba_accuracy[t.name] * 100 for t in TABLE2_TASKS]
+                    + [row.pimba_geomean * 100])
+    print_table("Table 2: accuracy, GPU (fp16) vs Pimba (mx8SR)", header, rows)
+
+    for row in rows_data:
+        # Perplexity within a few percent of the exact baseline.
+        assert row.pimba_perplexity < row.gpu_perplexity * 1.08, row.model
+        # Geomean accuracy within a few points (paper: within ~0.3).
+        assert abs(row.geomean_delta) < 0.06, row.model
+        # The tasks are far from chance for both systems.
+        assert row.gpu_geomean > 0.55
+        assert row.pimba_geomean > 0.55

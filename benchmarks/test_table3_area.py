@@ -1,0 +1,54 @@
+"""Table 3 — area and power of the Pimba SPU vs. the HBM-PIM unit.
+
+Paper: Pimba compute 0.053 mm^2 + buffers 0.039 = 0.092 mm^2 per unit at
+13.4% area overhead (vs HBM-PIM's 0.081 mm^2 / 11.8%), both under the
+25% logic budget; compute power 8.29 mW vs 6.03 mW.
+"""
+
+import pytest
+from conftest import print_table, run_once
+
+from repro.core import hbm_pim_config, pimba_config
+from repro.hw import area_overhead_percent, unit_area, unit_power
+
+
+def _table3():
+    rows = {}
+    for name, cfg in (("Pimba", pimba_config()), ("HBM-PIM", hbm_pim_config())):
+        ua = unit_area(cfg)
+        rows[name] = dict(
+            compute_mm2=ua.compute_mm2,
+            buffer_mm2=ua.buffer_mm2,
+            total_mm2=ua.total_mm2,
+            overhead_pct=area_overhead_percent(cfg),
+            power_mw=unit_power(cfg).milliwatts,
+        )
+    return rows
+
+
+def test_table3_area_power(benchmark):
+    data = run_once(benchmark, _table3)
+    paper = {
+        "Pimba": (0.053, 0.039, 0.092, 13.4, 8.29),
+        "HBM-PIM": (0.042, 0.039, 0.081, 11.8, 6.03),
+    }
+    rows = []
+    for name, d in data.items():
+        rows.append([name, d["compute_mm2"], d["buffer_mm2"], d["total_mm2"],
+                     d["overhead_pct"], d["power_mw"]])
+        rows.append([f"  (paper)"] + list(paper[name]))
+    print_table("Table 3: unit area and power",
+                ["design", "compute mm2", "buffer mm2", "total mm2",
+                 "overhead %", "power mW"], rows)
+
+    p = data["Pimba"]
+    assert p["compute_mm2"] == pytest.approx(0.053, rel=0.1)
+    assert p["total_mm2"] == pytest.approx(0.092, rel=0.1)
+    assert p["overhead_pct"] == pytest.approx(13.4, abs=1.5)
+    assert p["power_mw"] == pytest.approx(8.29, rel=0.15)
+    h = data["HBM-PIM"]
+    assert h["total_mm2"] == pytest.approx(0.081, rel=0.1)
+    assert h["power_mw"] == pytest.approx(6.03, rel=0.15)
+    # Pimba costs ~1.5% more area than HBM-PIM and both stay under 25%.
+    assert 0.5 < p["overhead_pct"] - h["overhead_pct"] < 3.0
+    assert p["overhead_pct"] < 25.0

@@ -1,0 +1,55 @@
+"""Serving study: throughput, latency breakdown and memory for all six
+evaluated models under every system — a miniature of Figs. 12/13.
+
+Run:  python examples/serving_study.py [--scale small|large]
+"""
+
+import argparse
+
+from repro.models import MODEL_NAMES, spec_for
+from repro.perf import OpKind, SystemKind, build_system
+from repro.workloads import ServingSimulator, uniform_batch
+
+SYSTEMS = (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM, SystemKind.PIMBA)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "large"), default="large")
+    parser.add_argument("--batch", type=int, default=128)
+    args = parser.parse_args()
+
+    print(f"scale={args.scale}, batch={args.batch}, (2048, 2048) lengths\n")
+    header = f"{'model':10s} " + "".join(f"{k.value:>10s}" for k in SYSTEMS)
+    print(header + f"{'Pimba gain':>12s}")
+    for name in MODEL_NAMES:
+        spec = spec_for(name, args.scale)
+        tput = {}
+        for kind in SYSTEMS:
+            sim = ServingSimulator(build_system(kind, args.scale), spec)
+            result = sim.run(uniform_batch(args.batch))
+            tput[kind] = result.generation_throughput
+        gain = tput[SystemKind.PIMBA] / tput[SystemKind.GPU]
+        print(f"{name:10s} " + "".join(f"{tput[k]:10.0f}" for k in SYSTEMS)
+              + f"{gain:11.2f}x")
+
+    print("\nWhere does Pimba's time go? (RetNet, batch 128)")
+    spec = spec_for("RetNet", args.scale)
+    for kind in (SystemKind.GPU, SystemKind.PIMBA):
+        step = build_system(kind, args.scale).step_latency(spec, args.batch, 3072)
+        parts = ", ".join(
+            f"{k.value}={v*1e3:.2f}ms" for k, v in step.seconds_by_kind.items()
+            if v > step.total * 0.02
+        )
+        print(f"  {kind.value:8s} total {step.total*1e3:7.2f} ms   ({parts})")
+
+    print("\nPer-device memory at seq 4096 (GiB):")
+    for name in ("Mamba-2", "OPT"):
+        spec = spec_for(name, args.scale)
+        for kind in (SystemKind.GPU, SystemKind.PIMBA):
+            mem = build_system(kind, args.scale).memory_usage(spec, args.batch, 4096)
+            print(f"  {name:8s} {kind.value:8s} {mem/2**30:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable
+installs work in offline environments whose setuptools predates the
+built-in ``bdist_wheel`` command (legacy ``pip install -e .`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — a full reproduction of Pimba (MICRO 2025).
+
+Pimba is a Processing-in-Memory accelerator for serving post-transformer
+LLMs (state space models, linear attention, RNNs) alongside classic
+transformers.  This library rebuilds the paper's whole stack in Python:
+
+* ``repro.quant``     — int8/fp8/MX8 storage formats + MX datapath (Fig. 9)
+* ``repro.dram``      — timing-constrained DRAM/HBM substrate (Table 1)
+* ``repro.core``      — the Pimba accelerator: SPU/SPE, access interleaving,
+                        custom commands, data layout, attention mode
+* ``repro.models``    — functional Mamba-2 / GLA / RetNet / HGRN2 / Zamba2 /
+                        OPT models built on the generalized state update op
+* ``repro.perf``      — GPU roofline, PIM cycle engine, full-system models
+                        (GPU, GPU+Q, GPU+PIM, Pimba, NeuPIMs), energy
+* ``repro.hw``        — gate-level area/power models (Fig. 6, Table 3)
+* ``repro.accuracy``  — synthetic-LM perplexity/accuracy harness (Fig. 4,
+                        Table 2)
+* ``repro.workloads`` — batched serving-loop workload generator
+"""
+
+__version__ = "1.0.0"

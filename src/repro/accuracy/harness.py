@@ -1,0 +1,89 @@
+"""Experiment drivers for the accuracy results (Fig. 4, Fig. 6, Table 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.accuracy.perplexity import evaluate_perplexity, quantization_sweep
+from repro.accuracy.synthetic_lm import SyntheticLm
+from repro.accuracy.tasks import TABLE2_TASKS, TaskSpec, build_items, task_accuracy
+from repro.models.config import Family
+from repro.quant.registry import FIG4_FORMATS
+
+#: model families shown in Fig. 4 (transformers last, as in the paper)
+FIG4_FAMILIES = (
+    Family.RETNET, Family.GLA, Family.HGRN2, Family.MAMBA2, Family.TRANSFORMER,
+)
+
+
+def fig4_study(
+    families: tuple[Family, ...] = FIG4_FAMILIES,
+    formats: tuple[str, ...] = FIG4_FORMATS,
+    batch: int = 4,
+    seq_len: int = 384,
+) -> dict[str, dict[str, float]]:
+    """Perplexity of every (family, format) pair — the Fig. 4 grid."""
+    return {
+        family.value: quantization_sweep(family, formats, batch, seq_len)
+        for family in families
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    """Accuracy of one model under the GPU (fp16) and Pimba (mx8SR) runs."""
+
+    model: str
+    gpu_perplexity: float
+    pimba_perplexity: float
+    gpu_accuracy: dict[str, float]
+    pimba_accuracy: dict[str, float]
+
+    @property
+    def gpu_geomean(self) -> float:
+        return _geomean(self.gpu_accuracy.values())
+
+    @property
+    def pimba_geomean(self) -> float:
+        return _geomean(self.pimba_accuracy.values())
+
+    @property
+    def geomean_delta(self) -> float:
+        """Pimba minus GPU, in accuracy points (paper: within ~±0.3)."""
+        return self.pimba_geomean - self.gpu_geomean
+
+
+def _geomean(values) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.mean(np.log(np.maximum(arr, 1e-9)))))
+
+
+def table2_row(
+    family: Family,
+    tasks: tuple[TaskSpec, ...] = TABLE2_TASKS,
+    n_items: int = 24,
+    seed: int = 1,
+    data_seed: int = 0,
+    pimba_format: str = "mx8SR",
+) -> Table2Row:
+    """Evaluate one model on all proxy tasks under both systems."""
+    lm = SyntheticLm(family, seed=seed)
+    rng = np.random.default_rng(data_seed)
+    eval_tokens = lm.sample_stream(4, 384, rng)
+    student = lm.build_student(pimba_format)
+
+    gpu_acc, pimba_acc = {}, {}
+    for task in tasks:
+        items = build_items(lm, task, n_items, rng)
+        gpu_acc[task.name] = task_accuracy(lm.teacher, items, lm.temperature)
+        pimba_acc[task.name] = task_accuracy(student, items, lm.temperature)
+
+    return Table2Row(
+        model=family.value,
+        gpu_perplexity=evaluate_perplexity(lm.teacher, eval_tokens, lm.temperature),
+        pimba_perplexity=evaluate_perplexity(student, eval_tokens, lm.temperature),
+        gpu_accuracy=gpu_acc,
+        pimba_accuracy=pimba_acc,
+    )

@@ -1,0 +1,68 @@
+"""Pimba accelerator core: configs, layout, SPE/SPU, scheduler, device.
+
+The paper's primary contribution (Section 5), reproduced end to end:
+data layout (5.1), hazard-free access interleaving (5.2), the MX-based SPE
+(5.3), attention mode (5.4), and the custom command schedule (5.5).
+"""
+
+from repro.core.accelerator import PimbaAccelerator, PimTiming
+from repro.core.config import (
+    PimbaConfig,
+    PimDesign,
+    hbm_pim_config,
+    per_bank_pipelined_config,
+    pimba_config,
+)
+from repro.core.layout import (
+    BankAssignment,
+    KvCacheLayout,
+    StateLayout,
+    kv_layout_for,
+    state_layout_for,
+)
+from repro.core.scheduler import (
+    SweepTiming,
+    comps_per_subchunk,
+    schedule_attention_rows,
+    schedule_attention_sweep,
+    schedule_state_update_rows,
+    schedule_state_update_sweep,
+)
+from repro.core.spe import StateUpdateEngine, reference_state_update
+from repro.core.spu import (
+    SpuRun,
+    StructuralHazardError,
+    channel_subchunk_rate,
+    simulate_design,
+    simulate_per_bank_pipelined,
+    simulate_shared_spu,
+    simulate_time_multiplexed,
+)
+
+__all__ = [
+    "PimbaAccelerator",
+    "PimTiming",
+    "PimbaConfig",
+    "PimDesign",
+    "hbm_pim_config",
+    "per_bank_pipelined_config",
+    "pimba_config",
+    "BankAssignment",
+    "KvCacheLayout",
+    "StateLayout",
+    "kv_layout_for",
+    "state_layout_for",
+    "SweepTiming",
+    "comps_per_subchunk",
+    "schedule_attention_sweep",
+    "schedule_state_update_sweep",
+    "StateUpdateEngine",
+    "reference_state_update",
+    "SpuRun",
+    "StructuralHazardError",
+    "channel_subchunk_rate",
+    "simulate_design",
+    "simulate_per_bank_pipelined",
+    "simulate_shared_spu",
+    "simulate_time_multiplexed",
+]

@@ -1,0 +1,198 @@
+"""The Pimba device: functional execution plus command-accurate timing.
+
+:class:`PimbaAccelerator` is the top-level object a serving system talks
+to.  It owns a device configuration and exposes:
+
+* **functional** state-update / attention execution with the exact storage
+  numerics the hardware would produce (MX8 + stochastic rounding for
+  Pimba; fp16 for the HBM-PIM baseline), and
+* **timing** queries that distribute a workload over pseudo-channels and
+  banks and run the Section 5.5 command schedules to get seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import PimbaConfig, PimDesign, pimba_config
+from repro.core.layout import (
+    BankAssignment,
+    kv_layout_for,
+    state_layout_for,
+)
+from repro.core.scheduler import (
+    SweepTiming,
+    schedule_attention_rows,
+    schedule_state_update_rows,
+)
+from repro.quant.registry import get_format
+
+
+@dataclasses.dataclass(frozen=True)
+class PimTiming:
+    """Seconds plus the underlying schedule for one offloaded operation."""
+
+    seconds: float
+    sweep: SweepTiming
+    heads_per_bank: int
+
+    @property
+    def bus_cycles(self) -> int:
+        return self.sweep.bus_cycles
+
+
+class PimbaAccelerator:
+    """One PIM-enabled memory device attached to a GPU."""
+
+    def __init__(self, config: PimbaConfig | None = None, seed: int = 0xACE1):
+        self.config = config or pimba_config()
+        self.format = get_format(self.config.state_format)
+        self._rng = np.random.default_rng(seed)
+
+    # -- functional execution ----------------------------------------------
+
+    def store_state(self, state: np.ndarray) -> np.ndarray:
+        """Quantize a state tensor into the device storage format.
+
+        The SPE computes with wide intermediates (12-bit products, a wide
+        dot-product accumulator) and loses precision only when the updated
+        state is written back to the row buffer — i.e. once per update.
+        Storage quantization therefore captures the hardware numerics; the
+        bit-exact block path in ``repro.core.spe`` validates this in tests.
+        """
+        rng = self._rng if self.format.is_stochastic else None
+        return self.format.quantize(state, rng=rng)
+
+    def state_update(
+        self,
+        state: np.ndarray,
+        d: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        q: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched Eq. 2 with device storage numerics.
+
+        Shapes (leading axes broadcast over batch and heads):
+            state: (..., dim_head, dim_state)
+            d, k, q: (..., dim_head)
+            v: (..., dim_state)
+
+        Returns (new_state, y) with ``y`` of shape (..., dim_state).
+        """
+        state = self.store_state(state)
+        new_state = d[..., :, None] * state + k[..., :, None] * v[..., None, :]
+        new_state = self.store_state(new_state)
+        y = np.einsum("...hs,...h->...s", new_state, q)
+        return new_state, y
+
+    def attention(
+        self,
+        q: np.ndarray,
+        k_cache: np.ndarray,
+        v_cache: np.ndarray,
+    ) -> np.ndarray:
+        """Single-token attention with the KV cache in device storage.
+
+        Shapes: q (..., dim_head); k_cache/v_cache (..., seq, dim_head).
+        The score softmax runs on the GPU between the two PIM phases
+        (Section 5.4), in full precision.
+        """
+        rng = self._rng if self.format.is_stochastic else None
+        k_cache = self.format.quantize(k_cache, rng=rng)
+        v_cache = self.format.quantize(v_cache, rng=rng)
+        scores = np.einsum("...sh,...h->...s", k_cache, q)
+        scores = scores / np.sqrt(q.shape[-1])
+        scores = scores - scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        return np.einsum("...s,...sh->...h", weights, v_cache)
+
+    # -- timing -------------------------------------------------------------
+
+    def _assignment(self, total_heads: int) -> BankAssignment:
+        hbm = self.config.hbm
+        return BankAssignment(
+            total_heads=total_heads,
+            pseudo_channels=hbm.pseudo_channels,
+            banks_per_channel=hbm.organization.banks,
+        )
+
+    def state_update_timing(
+        self, total_heads: int, dim_head: int, dim_state: int
+    ) -> PimTiming:
+        """Latency of one generation step's state updates.
+
+        Chunks (DRAM rows) are spread across every bank of every
+        pseudo-channel; when there are fewer heads than banks, a single
+        head's chunk group is split so no bank idles.  The most-loaded
+        bank sets the all-bank lock-step latency.
+
+        Args:
+            total_heads: batch size x state-update heads resident on this
+                device (after tensor parallelism).
+            dim_head / dim_state: per-head state shape.
+        """
+        layout = state_layout_for(self.config, dim_head, dim_state)
+        banks = self._assignment(max(1, total_heads)).total_banks
+        total_rows = total_heads * layout.chunks_per_head
+        rows_per_bank = -(-total_rows // banks) if total_rows else 0
+        groups_per_bank = max(1.0, total_heads / banks) if total_heads else 0.0
+        sweep = schedule_state_update_rows(
+            self.config, layout, rows_per_bank, groups_per_bank
+        )
+        seconds = sweep.bus_cycles / self.config.hbm.bus_frequency_hz
+        return PimTiming(
+            seconds=seconds, sweep=sweep,
+            heads_per_bank=-(-total_heads // banks) if total_heads else 0,
+        )
+
+    def attention_timing(
+        self,
+        total_heads: int,
+        dim_head: int,
+        seq_len: int,
+        dim_value: int | None = None,
+    ) -> PimTiming:
+        """Latency of one generation step's attention (score + attend).
+
+        The score phase streams the K cache (``dim_head``-wide vectors);
+        the attend phase streams the V cache (``dim_value``-wide).
+        """
+        dim_value = dim_value or dim_head
+        k_layout = kv_layout_for(self.config, dim_head, seq_len)
+        v_layout = kv_layout_for(self.config, dim_value, seq_len)
+        banks = self._assignment(max(1, total_heads)).total_banks
+
+        def rows_for(layout):
+            total_rows = total_heads * max(1, layout.rows_per_cache)
+            rows = -(-total_rows // banks) if total_heads else 0
+            caches = max(1.0, total_heads / banks) if total_heads else 0.0
+            return rows, caches
+
+        k_rows, k_caches = rows_for(k_layout)
+        v_rows, v_caches = rows_for(v_layout)
+        score = schedule_attention_rows(
+            self.config, k_layout, k_rows, k_caches, "score"
+        )
+        attend = schedule_attention_rows(
+            self.config, v_layout, v_rows, v_caches, "attend"
+        )
+        total = score + attend
+        seconds = total.bus_cycles / self.config.hbm.bus_frequency_hz
+        return PimTiming(
+            seconds=seconds, sweep=total,
+            heads_per_bank=-(-total_heads // banks) if total_heads else 0,
+        )
+
+    # -- capacity ------------------------------------------------------------
+
+    def state_bytes(self, total_heads: int, dim_head: int, dim_state: int) -> int:
+        """Device bytes holding all resident states in the storage format."""
+        return self.format.bytes_for(total_heads * dim_head * dim_state)
+
+    def kv_bytes(self, total_heads: int, dim_head: int, seq_len: int) -> int:
+        """Device bytes holding all resident KV caches (K and V)."""
+        return self.format.bytes_for(2 * total_heads * dim_head * seq_len)

@@ -1,0 +1,166 @@
+"""State and KV-cache data layout in PIM banks (Section 5.1 (3), Fig. 10a).
+
+Terminology, following the paper:
+
+* **sub-chunk** — the slice of one state column (the ``dim_head`` axis)
+  that fits in a single DRAM column access (32 B).  One PIM iteration
+  processes one sub-chunk.
+* **chunk** — sub-chunks grouped across the ``dim_state`` axis until they
+  fill one DRAM row, so a row activation feeds many sequential column
+  accesses.
+* **chunk group** — the chunks of one head, placed in consecutive rows of
+  one bank.  Chunks in a group share the per-head operands ``d_t, q_t,
+  k_t``; only the per-column ``v_t`` elements differ, minimizing
+  REG_WRITE traffic.
+
+The KV cache layout for attention (Fig. 10a) partitions each cached K/V
+vector along ``dim_head`` into the same column-sized sub-chunks, mapped
+contiguously in rows so the score/attend dataflows stream sequentially.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.config import PimbaConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StateLayout:
+    """Placement of one head's (dim_head x dim_state) state matrix."""
+
+    dim_head: int
+    dim_state: int
+    #: state elements per DRAM column access, set by the storage format
+    values_per_column: int
+    #: DRAM columns per row
+    columns_per_row: int
+
+    def __post_init__(self) -> None:
+        if self.dim_head <= 0 or self.dim_state <= 0:
+            raise ValueError("state dimensions must be positive")
+        if self.values_per_column <= 0 or self.columns_per_row <= 0:
+            raise ValueError("device geometry must be positive")
+
+    @property
+    def subchunks_per_state_column(self) -> int:
+        """DRAM columns needed for one state column (length dim_head)."""
+        return math.ceil(self.dim_head / self.values_per_column)
+
+    @property
+    def subchunks_per_head(self) -> int:
+        """Total PIM iterations to sweep one head's state once."""
+        return self.subchunks_per_state_column * self.dim_state
+
+    @property
+    def state_columns_per_chunk(self) -> int:
+        """How many state columns (v elements) one DRAM row covers."""
+        return max(1, self.columns_per_row // self.subchunks_per_state_column)
+
+    @property
+    def chunks_per_head(self) -> int:
+        """DRAM rows per head (the chunk-group size)."""
+        return math.ceil(self.dim_state / self.state_columns_per_chunk)
+
+    @property
+    def used_subchunks_per_chunk(self) -> int:
+        """Occupied DRAM columns per row.
+
+        When ``dim_head`` does not divide the row, whole state columns are
+        kept row-aligned and the trailing columns go unused — a real cost
+        of the Section 5.1 layout that the scheduler must not count as
+        compute.
+        """
+        return min(
+            self.columns_per_row,
+            self.subchunks_per_state_column * self.state_columns_per_chunk,
+        )
+
+    @property
+    def shared_operand_values(self) -> int:
+        """Values of d, q, k shipped once per chunk group (3 vectors)."""
+        return 3 * self.dim_head
+
+    @property
+    def per_chunk_operand_values(self) -> int:
+        """v elements shipped per chunk."""
+        return self.state_columns_per_chunk
+
+    @property
+    def result_values(self) -> int:
+        """Output y values produced per head (one per state column)."""
+        return self.dim_state
+
+
+@dataclasses.dataclass(frozen=True)
+class KvCacheLayout:
+    """Placement of one head's KV cache for attention mode (Fig. 10a)."""
+
+    dim_head: int
+    seq_len: int
+    values_per_column: int
+    columns_per_row: int
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 0:
+            raise ValueError("sequence length must be non-negative")
+
+    @property
+    def subchunks_per_vector(self) -> int:
+        """DRAM columns per cached key (or value) vector."""
+        return math.ceil(self.dim_head / self.values_per_column)
+
+    @property
+    def subchunks_per_pass(self) -> int:
+        """Column accesses to stream the whole K (or V) cache once."""
+        return self.subchunks_per_vector * self.seq_len
+
+    @property
+    def rows_per_cache(self) -> int:
+        """DRAM rows holding one head's K (or V) cache."""
+        return math.ceil(self.subchunks_per_pass / self.columns_per_row)
+
+
+@dataclasses.dataclass(frozen=True)
+class BankAssignment:
+    """How many heads' chunk groups land on each bank of a device."""
+
+    total_heads: int          #: batch x heads state instances
+    pseudo_channels: int
+    banks_per_channel: int
+
+    @property
+    def total_banks(self) -> int:
+        return self.pseudo_channels * self.banks_per_channel
+
+    @property
+    def heads_per_bank(self) -> int:
+        """Worst-case (ceiling) heads mapped to one bank.
+
+        The all-bank PIM design executes banks in lock-step, so the most
+        loaded bank sets the latency.
+        """
+        return math.ceil(self.total_heads / self.total_banks)
+
+
+def state_layout_for(config: PimbaConfig, dim_head: int, dim_state: int) -> StateLayout:
+    """Build the state layout implied by a device config and head shape."""
+    org = config.hbm.organization
+    return StateLayout(
+        dim_head=dim_head,
+        dim_state=dim_state,
+        values_per_column=config.values_per_column,
+        columns_per_row=org.columns_per_row,
+    )
+
+
+def kv_layout_for(config: PimbaConfig, dim_head: int, seq_len: int) -> KvCacheLayout:
+    """Build the KV-cache layout implied by a device config."""
+    org = config.hbm.organization
+    return KvCacheLayout(
+        dim_head=dim_head,
+        seq_len=seq_len,
+        values_per_column=config.values_per_column,
+        columns_per_row=org.columns_per_row,
+    )

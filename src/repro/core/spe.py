@@ -1,0 +1,188 @@
+"""State-update Processing Engine (SPE): the Fig. 8 datapath, functionally.
+
+One SPE iteration processes one *sub-chunk*: a column-access-sized slice of
+one state column.  For a sub-chunk ``s`` (a slice of S[:, j] along
+``dim_head``), head operands ``d, k, q`` (same slice) and the scalar
+``v_j``:
+
+    stage 2:  decay   = d (*) s            (MX multiplier)
+              incr    = k (*) v_j          (MX multiplier, broadcast scalar)
+    stage 3:  s_new   = decay (+) incr     (MX adder)
+    stage 4:  y_j    += dot(s_new, q)      (dot-product unit, wide acc.)
+              s_new  -> row buffer         (write back)
+
+All arithmetic runs through the bit-faithful MX units of
+``repro.quant.arithmetic``; operands are MX8-encoded exactly as they arrive
+through ``REG_WRITE`` (the host-side Quantization Unit of Section 5.5).
+
+The attention mode (Section 5.4) reuses the same units:
+
+    score phase:   partial = dot(q, k_t)           (dot-product unit)
+    attend phase:  acc    += score_t (*) v_t       (multiplier + adder)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.arithmetic import DotProductUnit, MxAdder, MxMultiplier
+from repro.quant.lfsr import Lfsr
+from repro.quant.mx import GROUP_SIZE, MxBlock
+from repro.quant.rounding import RoundingMode
+
+
+def _to_blocks(values: np.ndarray, rounding: RoundingMode, lfsr: Lfsr | None) -> list[MxBlock]:
+    """Encode a 1-D float array into MX8 groups (zero-padded)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("SPE operands must be 1-D sub-chunk slices")
+    pad = (-len(values)) % GROUP_SIZE
+    if pad:
+        values = np.concatenate([values, np.zeros(pad)])
+    rng = None
+    if rounding is RoundingMode.STOCHASTIC:
+        source = lfsr if lfsr is not None else Lfsr(16, seed=0x5EED)
+        rng = np.random.default_rng(source.next_bits(source.width))
+    return [
+        MxBlock.encode(values[i:i + GROUP_SIZE], rounding, rng)
+        for i in range(0, len(values), GROUP_SIZE)
+    ]
+
+
+def _from_blocks(blocks: list[MxBlock], length: int) -> np.ndarray:
+    out = np.concatenate([b.decode() for b in blocks])
+    return out[:length]
+
+
+class StateUpdateEngine:
+    """Bit-faithful functional model of one SPE.
+
+    Args:
+        rounding: rounding mode of the MX units' renormalizing shifts.
+        lfsr_seed: seed of the per-SPE LFSR used for stochastic rounding.
+    """
+
+    def __init__(
+        self,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        lfsr_seed: int = 0xACE1,
+    ):
+        self.rounding = rounding
+        self.lfsr = Lfsr(16, seed=lfsr_seed) if rounding is RoundingMode.STOCHASTIC else None
+        self.multiplier = MxMultiplier(self.lfsr)
+        self.adder = MxAdder(self.lfsr)
+        self.dot_unit = DotProductUnit()
+        self.iterations = 0
+
+    # -- state-update mode -------------------------------------------------
+
+    def process_subchunk(
+        self,
+        state: np.ndarray,
+        d: np.ndarray,
+        k: np.ndarray,
+        v_scalar: float,
+        q: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        """Run one pipeline iteration; returns (new state slice, y partial).
+
+        Args:
+            state: current state sub-chunk, shape ``(n,)``.
+            d: decay vector slice (same shape); scalar decays arrive
+                pre-broadcast.
+            k: key vector slice.
+            v_scalar: the v element for this state column.
+            q: query vector slice.
+        """
+        n = len(state)
+        if not (len(d) == len(k) == len(q) == n):
+            raise ValueError("operand slices must match the sub-chunk length")
+        s_blocks = _to_blocks(state, self.rounding, self.lfsr)
+        d_blocks = _to_blocks(d, self.rounding, self.lfsr)
+        k_blocks = _to_blocks(k, self.rounding, self.lfsr)
+        q_blocks = _to_blocks(q, self.rounding, self.lfsr)
+        v_blocks = _to_blocks(np.full(len(s_blocks) * GROUP_SIZE, v_scalar),
+                              self.rounding, self.lfsr)
+
+        new_blocks: list[MxBlock] = []
+        self.dot_unit.reset()
+        for s_b, d_b, k_b, q_b, v_b in zip(
+            s_blocks, d_blocks, k_blocks, q_blocks, v_blocks
+        ):
+            decay = self.multiplier(d_b, s_b)
+            incr = self.multiplier(k_b, v_b)
+            s_new = self.adder(decay, incr)
+            self.dot_unit.accumulate(s_new, q_b)
+            new_blocks.append(s_new)
+        self.iterations += 1
+        return _from_blocks(new_blocks, n), self.dot_unit.accumulator
+
+    def update_head(
+        self,
+        state: np.ndarray,
+        d: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        q: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sweep a whole (dim_head x dim_state) head through the SPE.
+
+        Returns the updated state matrix and the output vector ``y`` of
+        length ``dim_state`` (Eq. 2).
+        """
+        dim_head, dim_state = state.shape
+        if len(d) != dim_head or len(k) != dim_head or len(q) != dim_head:
+            raise ValueError("d/k/q must have length dim_head")
+        if len(v) != dim_state:
+            raise ValueError("v must have length dim_state")
+        new_state = np.empty_like(state, dtype=np.float64)
+        y = np.empty(dim_state)
+        for j in range(dim_state):
+            new_state[:, j], y[j] = self.process_subchunk(
+                state[:, j], d, k, float(v[j]), q
+            )
+        return new_state, y
+
+    # -- attention mode (Section 5.4) ---------------------------------------
+
+    def score_subchunk(self, q: np.ndarray, k_t: np.ndarray) -> float:
+        """Score phase: one dot product ``q . k_t`` (per cached position)."""
+        self.dot_unit.reset()
+        for q_b, k_b in zip(
+            _to_blocks(q, self.rounding, self.lfsr),
+            _to_blocks(k_t, self.rounding, self.lfsr),
+        ):
+            self.dot_unit.accumulate(q_b, k_b)
+        self.iterations += 1
+        return self.dot_unit.accumulator
+
+    def attend_subchunk(
+        self, acc: np.ndarray, score_t: float, v_t: np.ndarray
+    ) -> np.ndarray:
+        """Attend phase: ``acc + score_t * v_t`` through the mult/add units."""
+        if len(acc) != len(v_t):
+            raise ValueError("accumulator and value slices must match")
+        out_blocks = []
+        score_blocks = _to_blocks(
+            np.full(len(v_t), score_t), self.rounding, self.lfsr
+        )
+        for a_b, s_b, v_b in zip(
+            _to_blocks(acc, self.rounding, self.lfsr),
+            score_blocks,
+            _to_blocks(v_t, self.rounding, self.lfsr),
+        ):
+            out_blocks.append(self.adder(a_b, self.multiplier(s_b, v_b)))
+        self.iterations += 1
+        return _from_blocks(out_blocks, len(acc))
+
+
+def reference_state_update(
+    state: np.ndarray,
+    d: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Float64 reference of Eq. 2 for one head: S' = d⊙S + k vᵀ; y = S'ᵀ q."""
+    new_state = d[:, None] * state + np.outer(k, v)
+    return new_state, new_state.T @ q

@@ -1,0 +1,155 @@
+"""State-update Processing Unit: pipeline and access-interleaving model.
+
+This module answers the Section 4.1/5.2 questions *by simulation*: it
+schedules sub-chunk reads, pipeline stages, and write-backs cycle by cycle
+for all three PIM organizations, asserts that no row buffer is asked to
+read and write in the same PIM cycle (the structural hazard), and reports
+the cycles each design needs — from which Fig. 5's "same throughput, half
+the units" claim is *measured*.
+
+One PIM cycle equals ``tCCD_L`` bus cycles (the COMP cadence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import PimbaConfig, PimDesign
+
+
+class StructuralHazardError(RuntimeError):
+    """A bank's row buffer was scheduled for read and write in one cycle."""
+
+
+@dataclasses.dataclass
+class BankPort:
+    """Tracks per-cycle row-buffer usage of one bank."""
+
+    index: int
+    usage: dict[int, str] = dataclasses.field(default_factory=dict)
+
+    def access(self, cycle: int, kind: str) -> None:
+        if cycle in self.usage:
+            raise StructuralHazardError(
+                f"bank {self.index}: {kind} and {self.usage[cycle]} both at "
+                f"cycle {cycle}"
+            )
+        self.usage[cycle] = kind
+
+
+@dataclasses.dataclass(frozen=True)
+class SpuRun:
+    """Result of simulating one unit (or unit pair) workload."""
+
+    cycles: int                 #: PIM cycles from first read to last write
+    subchunks: int              #: sub-chunks processed
+    units: int                  #: processing units involved
+    reads: int
+    writes: int
+
+    @property
+    def throughput_per_unit(self) -> float:
+        """Sub-chunks per PIM cycle per processing unit."""
+        if self.cycles == 0:
+            return 0.0
+        return self.subchunks / self.cycles / self.units
+
+
+def simulate_shared_spu(n_per_bank: int, pipeline_stages: int = 4) -> SpuRun:
+    """Pimba: one SPU shared by two banks with access interleaving (Fig. 8).
+
+    Even cycles read the upper bank, odd cycles read the bottom bank; the
+    write-back of the sub-chunk read at cycle ``c`` lands at
+    ``c + pipeline_stages - 1``, which has opposite parity, so it never
+    collides with that bank's reads.
+    """
+    if n_per_bank < 0:
+        raise ValueError("n_per_bank must be non-negative")
+    upper, bottom = BankPort(0), BankPort(1)
+    writeback = pipeline_stages - 1
+    if writeback % 2 == 0:
+        raise ValueError("write-back offset must be odd for hazard-free interleaving")
+    last = 0
+    reads = writes = 0
+    for i in range(n_per_bank):
+        for parity, port in ((0, upper), (1, bottom)):
+            read_cycle = 2 * i + parity
+            port.access(read_cycle, "read")
+            port.access(read_cycle + writeback, "write")
+            reads += 1
+            writes += 1
+            last = max(last, read_cycle + writeback)
+    return SpuRun(cycles=last + 1, subchunks=2 * n_per_bank, units=1,
+                  reads=reads, writes=writes)
+
+
+def simulate_per_bank_pipelined(n_per_bank: int, pipeline_stages: int = 4) -> SpuRun:
+    """Per-bank pipelined straw man: one pipeline per bank.
+
+    The single row buffer alternates read (even cycles) and write (odd
+    cycles), so the pipeline is fed only every other cycle — half its peak.
+    """
+    if n_per_bank < 0:
+        raise ValueError("n_per_bank must be non-negative")
+    port = BankPort(0)
+    writeback = pipeline_stages - 1
+    last = 0
+    for i in range(n_per_bank):
+        read_cycle = 2 * i
+        port.access(read_cycle, "read")
+        port.access(read_cycle + writeback, "write")
+        last = max(last, read_cycle + writeback)
+    return SpuRun(cycles=last + 1, subchunks=n_per_bank, units=1,
+                  reads=n_per_bank, writes=n_per_bank)
+
+
+def simulate_time_multiplexed(
+    n_per_bank: int, banks_per_unit: int = 2, passes: int = 4
+) -> SpuRun:
+    """HBM-PIM-style unit: each sub-chunk occupies the unit for ``passes``
+    serial column operations (fused read-multiply, update, fused
+    output-write), with no overlap across sub-chunks.
+    """
+    if n_per_bank < 0:
+        raise ValueError("n_per_bank must be non-negative")
+    ports = [BankPort(i) for i in range(banks_per_unit)]
+    cycle = 0
+    reads = writes = 0
+    for i in range(n_per_bank):
+        for port in ports:
+            port.access(cycle, "read")
+            port.access(cycle + passes - 1, "write")
+            reads += 1
+            writes += 1
+            cycle += passes
+    total = n_per_bank * banks_per_unit
+    return SpuRun(cycles=cycle, subchunks=total, units=1, reads=reads, writes=writes)
+
+
+def simulate_design(
+    config: PimbaConfig, n_per_bank: int
+) -> SpuRun:
+    """Simulate ``config.design`` processing ``n_per_bank`` sub-chunks/bank."""
+    if config.design is PimDesign.SHARED_PIPELINED:
+        return simulate_shared_spu(n_per_bank, config.pipeline_stages)
+    if config.design is PimDesign.PER_BANK_PIPELINED:
+        return simulate_per_bank_pipelined(n_per_bank, config.pipeline_stages)
+    return simulate_time_multiplexed(
+        n_per_bank,
+        banks_per_unit=config.banks_per_unit,
+        passes=config.time_multiplexed_passes,
+    )
+
+
+def channel_subchunk_rate(config: PimbaConfig, n_per_bank: int = 256) -> float:
+    """Steady-state sub-chunks per PIM cycle for one whole pseudo-channel.
+
+    Every processing unit covers ``config.banks_per_unit`` banks and all
+    units run in lock-step (all-bank design), so the channel rate is the
+    per-unit rate times the unit count.
+    """
+    run = simulate_design(config, n_per_bank)
+    units = config.units_per_channel
+    if units * config.banks_per_unit != config.hbm.organization.banks:
+        raise ValueError("unit count does not cover all banks exactly")
+    return run.subchunks / run.cycles * units

@@ -1,0 +1,48 @@
+"""DRAM/HBM substrate: organization, timing, banks, controller, energy.
+
+Rebuilds the Ramulator2-based memory substrate the paper's simulator sits
+on: Table 1 timing parameters, a bank/row-buffer state machine with a full
+constraint checker, an FCFS controller for conventional streaming, and the
+O'Connor-style energy model used in Fig. 14.
+"""
+
+from repro.dram.bank import Bank, BankState, FawTracker, TimingError
+from repro.dram.commands import (
+    ALL_BANK_COMMANDS,
+    DATA_BUS_COMMANDS,
+    Command,
+    CommandKind,
+)
+from repro.dram.controller import FcfsController, Request, stream_cycles
+from repro.dram.device import PseudoChannel
+from repro.dram.energy import DramEnergyModel, DramEnergyParams, EnergyLedger
+from repro.dram.timing import (
+    HbmConfig,
+    HbmOrganization,
+    TimingParams,
+    a100_hbm,
+    h100_hbm,
+)
+
+__all__ = [
+    "Bank",
+    "BankState",
+    "FawTracker",
+    "TimingError",
+    "ALL_BANK_COMMANDS",
+    "DATA_BUS_COMMANDS",
+    "Command",
+    "CommandKind",
+    "FcfsController",
+    "Request",
+    "stream_cycles",
+    "PseudoChannel",
+    "DramEnergyModel",
+    "DramEnergyParams",
+    "EnergyLedger",
+    "HbmConfig",
+    "HbmOrganization",
+    "TimingParams",
+    "a100_hbm",
+    "h100_hbm",
+]

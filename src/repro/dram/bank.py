@@ -1,0 +1,147 @@
+"""Bank state machine with a row buffer, enforcing per-bank timing.
+
+The bank tracks when each constraint window closes, so a scheduler can ask
+``earliest_activate`` / ``earliest_read`` / ... and either assert legality
+(PIM deterministic schedules) or shift the command later (FCFS controller).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.dram.timing import TimingParams
+
+
+class BankState(enum.Enum):
+    """Row-buffer status of a bank."""
+
+    IDLE = "idle"          # no row open
+    ACTIVE = "active"      # a row is latched in the row buffer
+
+
+class TimingError(RuntimeError):
+    """A command was issued before its timing constraints were met."""
+
+
+class Bank:
+    """One DRAM bank: a row buffer plus the timing windows that guard it."""
+
+    def __init__(self, timing: TimingParams, columns_per_row: int, index: int = 0):
+        self.timing = timing
+        self.columns_per_row = columns_per_row
+        self.index = index
+        self.state = BankState.IDLE
+        self.open_row: int | None = None
+        # Earliest cycles at which each command class becomes legal.
+        self._act_ready = 0
+        self._col_ready = 0
+        self._pre_ready = 0
+        self.stats = {"activates": 0, "reads": 0, "writes": 0, "precharges": 0}
+
+    # -- queries ---------------------------------------------------------
+
+    def earliest_activate(self, now: int) -> int:
+        if self.state is not BankState.IDLE:
+            raise TimingError(f"bank {self.index}: ACT while a row is open")
+        return max(now, self._act_ready)
+
+    def earliest_column(self, now: int) -> int:
+        if self.state is not BankState.ACTIVE:
+            raise TimingError(f"bank {self.index}: column access with no open row")
+        return max(now, self._col_ready)
+
+    def earliest_precharge(self, now: int) -> int:
+        if self.state is not BankState.ACTIVE:
+            raise TimingError(f"bank {self.index}: PRE with no open row")
+        return max(now, self._pre_ready)
+
+    # -- state transitions -----------------------------------------------
+
+    def activate(self, cycle: int, row: int) -> None:
+        """Open ``row``; first column access is legal after tRCD."""
+        legal = self.earliest_activate(cycle)
+        if cycle < legal:
+            raise TimingError(
+                f"bank {self.index}: ACT at {cycle} before legal cycle {legal}"
+            )
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self._col_ready = cycle + self.timing.tRCD
+        self._pre_ready = cycle + self.timing.tRAS
+        self.stats["activates"] += 1
+
+    def read(self, cycle: int, column: int) -> None:
+        """Column read; the next precharge must wait out tRTP."""
+        self._column_access(cycle, column)
+        self._pre_ready = max(self._pre_ready, cycle + self.timing.tRTP_L)
+        self.stats["reads"] += 1
+
+    def write(self, cycle: int, column: int) -> None:
+        """Column write; the next precharge must wait out write recovery."""
+        self._column_access(cycle, column)
+        self._pre_ready = max(
+            self._pre_ready, cycle + self.timing.tBL + self.timing.tWR
+        )
+        self.stats["writes"] += 1
+
+    def precharge(self, cycle: int) -> None:
+        """Close the open row; the bank re-opens after tRP."""
+        legal = self.earliest_precharge(cycle)
+        if cycle < legal:
+            raise TimingError(
+                f"bank {self.index}: PRE at {cycle} before legal cycle {legal}"
+            )
+        self.state = BankState.IDLE
+        self.open_row = None
+        self._act_ready = cycle + self.timing.tRP
+        self.stats["precharges"] += 1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _column_access(self, cycle: int, column: int) -> None:
+        if not 0 <= column < self.columns_per_row:
+            raise ValueError(
+                f"column {column} out of range [0, {self.columns_per_row})"
+            )
+        legal = self.earliest_column(cycle)
+        if cycle < legal:
+            raise TimingError(
+                f"bank {self.index}: column access at {cycle} before {legal}"
+            )
+        # Successive column accesses in the same bank observe tCCD_L.
+        self._col_ready = cycle + self.timing.tCCD_L
+
+
+class FawTracker:
+    """Sliding-window tracker for the four-activation window (tFAW)."""
+
+    def __init__(self, timing: TimingParams, window: int = 4):
+        self.timing = timing
+        self.window = window
+        self._history: list[int] = []
+
+    def earliest(self, now: int) -> int:
+        """Earliest cycle a new activation may issue."""
+        if len(self._history) < self.window:
+            return now
+        return max(now, self._history[-self.window] + self.timing.tFAW)
+
+    def record(self, cycle: int) -> None:
+        legal = self.earliest(cycle)
+        if cycle < legal:
+            raise TimingError(f"ACT at {cycle} violates tFAW (earliest {legal})")
+        self._history.append(cycle)
+        # Keep memory bounded.
+        if len(self._history) > 4 * self.window:
+            self._history = self._history[-self.window:]
+
+    def utilization(self) -> float:
+        """Average activations per tFAW window observed so far."""
+        if len(self._history) < 2:
+            return 0.0
+        span = self._history[-1] - self._history[0]
+        if span == 0:
+            return float(self.window)
+        return float(np.clip(len(self._history) * self.timing.tFAW / span, 0, 2 * self.window))

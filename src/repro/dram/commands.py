@@ -1,0 +1,68 @@
+"""DRAM command vocabulary: standard JEDEC-style plus Pimba extensions.
+
+Section 5.5 defines five custom commands layered on the standard interface:
+
+* ``ACT4``         — gang four activations (obeys tFAW / tRRD)
+* ``REG_WRITE``    — load MX8 operands into SPU registers over the bus
+* ``COMP``         — one pipelined PIM column operation across all banks
+* ``RESULT_READ``  — drain accumulator partial sums to the host
+* ``PRECHARGES``   — all-bank precharge of updated row buffers
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class CommandKind(enum.Enum):
+    """Every command the controller and PIM scheduler can issue."""
+
+    # Standard DRAM commands
+    ACT = "ACT"
+    RD = "RD"
+    WR = "WR"
+    PRE = "PRE"
+    REF = "REF"
+    # Pimba custom commands (Section 5.5)
+    ACT4 = "ACT4"
+    REG_WRITE = "REG_WRITE"
+    COMP = "COMP"
+    RESULT_READ = "RESULT_READ"
+    PRECHARGES = "PRECHARGES"
+
+
+#: commands that occupy the data bus (overlappable with ACT4/PRECHARGES)
+DATA_BUS_COMMANDS = frozenset(
+    {CommandKind.RD, CommandKind.WR, CommandKind.REG_WRITE, CommandKind.RESULT_READ}
+)
+
+#: custom commands addressed to every bank at once (all-bank design)
+ALL_BANK_COMMANDS = frozenset(
+    {CommandKind.ACT4, CommandKind.COMP, CommandKind.PRECHARGES}
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Command:
+    """One scheduled command instance.
+
+    Attributes:
+        issue_cycle: bus-clock cycle the command is placed on the C/A bus.
+        kind: command opcode.
+        bank: target bank index (-1 for all-bank commands).
+        row: target row for activations.
+        column: target column for column commands.
+    """
+
+    issue_cycle: int
+    kind: CommandKind
+    bank: int = -1
+    row: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.issue_cycle < 0:
+            raise ValueError("issue_cycle must be non-negative")
+        if self.kind in ALL_BANK_COMMANDS and self.bank != -1:
+            raise ValueError(f"{self.kind.value} is an all-bank command; bank must be -1")

@@ -1,0 +1,107 @@
+"""A first-come-first-served memory controller over one pseudo-channel.
+
+The controller takes *requests* (row, column, read/write) and emits a legal
+command stream — activating rows, respecting tCCD/tFAW/tWR/tRTP windows and
+inserting refreshes.  It is used to measure how long a conventional
+(non-PIM) device takes to stream a tensor through the channel, which is the
+baseline against which the Pimba scheduler's internal-bandwidth advantage
+is computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dram.bank import BankState, TimingError
+from repro.dram.commands import Command, CommandKind
+from repro.dram.device import PseudoChannel
+from repro.dram.timing import HbmConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One column-granularity memory request."""
+
+    bank: int
+    row: int
+    column: int
+    is_write: bool = False
+
+
+class FcfsController:
+    """In-order controller with open-page policy and refresh insertion."""
+
+    def __init__(self, config: HbmConfig, refresh: bool = True):
+        self.config = config
+        self.channel = PseudoChannel(config)
+        self.refresh = refresh
+        self._next_refresh = config.timing.tREFI
+        self.issued: list[Command] = []
+        self._cursor = 0
+
+    def _issue(self, kind: CommandKind, cycle: int, **kw) -> int:
+        cmd = Command(issue_cycle=cycle, kind=kind, **kw)
+        done = self.channel.execute(cmd)
+        self.issued.append(cmd)
+        self._cursor = max(self._cursor, cycle)
+        return done
+
+    def _maybe_refresh(self, now: int) -> int:
+        """Close all rows and refresh if the refresh deadline passed."""
+        if not self.refresh or now < self._next_refresh:
+            return now
+        t = now
+        for bank in self.channel.banks:
+            if bank.state is BankState.ACTIVE:
+                t = bank.earliest_precharge(t)
+                self._issue(CommandKind.PRE, t, bank=bank.index)
+                t += 1
+        t = max(t, self._next_refresh)
+        self._issue(CommandKind.REF, t)
+        self._next_refresh += self.config.timing.tREFI
+        return t + self.config.timing.tRFC
+
+    def run(self, requests: list[Request]) -> int:
+        """Execute ``requests`` in order; return the completion cycle."""
+        t = self._cursor
+        for req in requests:
+            t = self._maybe_refresh(t)
+            bank = self.channel.banks[req.bank]
+            if bank.state is BankState.ACTIVE and bank.open_row != req.row:
+                t = bank.earliest_precharge(t)
+                self._issue(CommandKind.PRE, t, bank=req.bank)
+                t += 1
+            if bank.state is BankState.IDLE:
+                t = max(bank.earliest_activate(t), self.channel.faw.earliest(t))
+                self._issue(CommandKind.ACT, t, bank=req.bank, row=req.row)
+                t += 1
+            t = self.channel.earliest_column_issue(req.bank, t)
+            t = max(t, self.channel._bus_free)
+            kind = CommandKind.WR if req.is_write else CommandKind.RD
+            done = self._issue(kind, t, bank=req.bank, column=req.column)
+            t = max(t, done - self.config.timing.tBL)
+        return self._drain(t)
+
+    def _drain(self, t: int) -> int:
+        """Completion cycle after the last data burst."""
+        return max(t, self.channel._bus_free)
+
+
+def stream_cycles(config: HbmConfig, n_bytes: int, read_fraction: float = 1.0) -> int:
+    """Cycles for an ideal sequential stream of ``n_bytes`` through one channel.
+
+    Convenience closed-form used by the GPU roofline model: the data bus is
+    the bottleneck, one column (``column_bytes``) per ``tBL`` cycles, with
+    refresh overhead layered on top.
+
+    Args:
+        config: HBM configuration.
+        n_bytes: bytes moved (reads + writes combined).
+        read_fraction: unused in the closed form; kept for interface parity
+            with the event-driven controller.
+    """
+    del read_fraction
+    org = config.organization
+    columns = -(-n_bytes // org.column_bytes)
+    busy = columns * config.timing.tBL
+    return int(busy * (1.0 + config.timing.refresh_overhead))

@@ -1,0 +1,104 @@
+"""DRAM energy model.
+
+Per-operation energies follow the HBM numbers from O'Connor et al.,
+"Fine-Grained DRAM" (MICRO 2017), which the paper cites ([52]) as its
+source for activation and read energy:
+
+* row activation:            ~909 pJ per activate
+* DRAM array read/write:     ~1.51 pJ/bit
+* channel I/O transfer:      ~0.80 pJ/bit
+
+The decisive PIM effect (Fig. 14): in-bank computation pays the array
+access energy but *not* the channel I/O energy, and MX8 halves the bits
+moved relative to fp16.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DramEnergyParams:
+    """Energy coefficients for one HBM device."""
+
+    activate_pj: float = 909.0      #: per row activation
+    array_pj_per_bit: float = 1.51  #: bank array read or write
+    io_pj_per_bit: float = 0.80     #: transfer over the channel bus
+    #: background/static power per pseudo-channel, in watts
+    background_w: float = 0.08
+
+    def __post_init__(self) -> None:
+        if min(self.activate_pj, self.array_pj_per_bit, self.io_pj_per_bit) < 0:
+            raise ValueError("energy coefficients must be non-negative")
+
+
+@dataclasses.dataclass
+class EnergyLedger:
+    """Accumulates energy by component, in picojoules."""
+
+    activate_pj: float = 0.0
+    array_pj: float = 0.0
+    io_pj: float = 0.0
+    compute_pj: float = 0.0
+    background_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.activate_pj + self.array_pj + self.io_pj
+            + self.compute_pj + self.background_pj
+        )
+
+    @property
+    def total_j(self) -> float:
+        return self.total_pj * 1e-12
+
+    def add(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Return a new ledger with component-wise sums."""
+        return EnergyLedger(
+            activate_pj=self.activate_pj + other.activate_pj,
+            array_pj=self.array_pj + other.array_pj,
+            io_pj=self.io_pj + other.io_pj,
+            compute_pj=self.compute_pj + other.compute_pj,
+            background_pj=self.background_pj + other.background_pj,
+        )
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        """Return a new ledger with every component scaled."""
+        return EnergyLedger(
+            activate_pj=self.activate_pj * factor,
+            array_pj=self.array_pj * factor,
+            io_pj=self.io_pj * factor,
+            compute_pj=self.compute_pj * factor,
+            background_pj=self.background_pj * factor,
+        )
+
+
+class DramEnergyModel:
+    """Charges DRAM events against an :class:`EnergyLedger`."""
+
+    def __init__(self, params: DramEnergyParams | None = None):
+        self.params = params or DramEnergyParams()
+        self.ledger = EnergyLedger()
+
+    def activation(self, count: int = 1) -> None:
+        self.ledger.activate_pj += self.params.activate_pj * count
+
+    def array_access(self, n_bytes: float) -> None:
+        """Bank-internal read or write of ``n_bytes`` (no bus transfer)."""
+        self.ledger.array_pj += self.params.array_pj_per_bit * n_bytes * 8
+
+    def channel_transfer(self, n_bytes: float) -> None:
+        """Array access *plus* I/O transfer over the channel bus."""
+        self.array_access(n_bytes)
+        self.ledger.io_pj += self.params.io_pj_per_bit * n_bytes * 8
+
+    def compute(self, pj: float) -> None:
+        """PIM datapath energy (from ``repro.hw.power``)."""
+        self.ledger.compute_pj += pj
+
+    def background(self, seconds: float, pseudo_channels: int) -> None:
+        self.ledger.background_pj += (
+            self.params.background_w * seconds * pseudo_channels * 1e12
+        )

@@ -1,0 +1,120 @@
+"""DRAM timing parameters and organization (Table 1 of the paper).
+
+All timing values are in *memory bus clock cycles*, matching Table 1:
+
+    tRP = 14, tRAS = 34, tCCD_S = 2, tCCD_L = 4, tWR = 16,
+    tRTP_S = 4, tRTP_L = 6, tREFI = 3900, tFAW = 30
+
+The paper's PIM clock runs one tick per ``tCCD_L`` bus cycles (378 MHz for
+a 1512 MHz HBM2E bus; 657 MHz for a 2626 MHz HBM3 bus on H100).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingParams:
+    """DRAM timing constraints in memory-bus clock cycles."""
+
+    tRP: int = 14     #: precharge latency
+    tRAS: int = 34    #: minimum row-open time (ACT -> PRE)
+    tRCD: int = 14    #: ACT -> first column access
+    tCCD_S: int = 2   #: column-to-column, different bank group
+    tCCD_L: int = 4   #: column-to-column, same bank group
+    tWR: int = 16     #: write recovery (end of write -> PRE)
+    tRTP_S: int = 4   #: read -> precharge, different bank group
+    tRTP_L: int = 6   #: read -> precharge, same bank group
+    tREFI: int = 3900  #: average refresh interval
+    tRFC: int = 390   #: refresh cycle time
+    tFAW: int = 30    #: four-activation window
+    tRRD: int = 4     #: activate-to-activate, different banks
+    tBL: int = 2      #: burst length on the bus, in clock cycles
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"{field.name} must be positive")
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the device is unavailable due to refresh."""
+        return self.tRFC / self.tREFI
+
+
+@dataclasses.dataclass(frozen=True)
+class HbmOrganization:
+    """Organization of one HBM pseudo-channel (Table 1)."""
+
+    banks_per_group: int = 4
+    bank_groups: int = 4
+    #: column access width in bytes (one COMP operand / bus burst)
+    column_bytes: int = 32
+    #: DRAM row (page) size per bank in bytes
+    row_bytes: int = 1024
+    #: bus width in bits for one pseudo-channel
+    bus_bits: int = 64
+
+    @property
+    def banks(self) -> int:
+        """Total banks in the pseudo-channel."""
+        return self.banks_per_group * self.bank_groups
+
+    @property
+    def columns_per_row(self) -> int:
+        return self.row_bytes // self.column_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class HbmConfig:
+    """A complete HBM stack configuration used by one GPU-class device."""
+
+    name: str = "HBM2E-A100"
+    timing: TimingParams = dataclasses.field(default_factory=TimingParams)
+    organization: HbmOrganization = dataclasses.field(default_factory=HbmOrganization)
+    #: memory bus frequency in Hz (Table 1: 1.512 GHz; H100: 2.626 GHz)
+    bus_frequency_hz: float = 1.512e9
+    #: pseudo-channels per device.  The paper's "40 PIM memory modules" are
+    #: 40 128-bit HBM channels = 80 64-bit pseudo-channels (5 stacks x 8
+    #: channels x 2), which reproduces the A100's ~1.94 TB/s.
+    pseudo_channels: int = 80
+
+    @property
+    def pim_frequency_hz(self) -> float:
+        """PIM (SPU) clock: one tick per tCCD_L bus cycles."""
+        return self.bus_frequency_hz / self.timing.tCCD_L
+
+    @property
+    def channel_bandwidth_bytes(self) -> float:
+        """Peak data-bus bandwidth of one pseudo-channel in bytes/s.
+
+        The bus moves ``bus_bits`` per edge, two edges per clock (DDR).
+        """
+        return self.organization.bus_bits / 8 * 2 * self.bus_frequency_hz
+
+    @property
+    def device_bandwidth_bytes(self) -> float:
+        """Aggregate external bandwidth across all pseudo-channels."""
+        return self.channel_bandwidth_bytes * self.pseudo_channels
+
+    @property
+    def internal_bandwidth_bytes(self) -> float:
+        """Aggregate in-bank bandwidth available to per-bank PIM.
+
+        Each bank can deliver one ``column_bytes`` access per ``tCCD_L``
+        bus cycles to its local compute unit, across all banks in parallel.
+        """
+        org = self.organization
+        per_bank = org.column_bytes * self.bus_frequency_hz / self.timing.tCCD_L
+        return per_bank * org.banks * self.pseudo_channels
+
+
+def a100_hbm() -> HbmConfig:
+    """HBM2E configuration matching the A100-based evaluation (Table 1)."""
+    return HbmConfig()
+
+
+def h100_hbm() -> HbmConfig:
+    """HBM3 configuration for the H100 sensitivity study (Fig. 16)."""
+    return HbmConfig(name="HBM3-H100", bus_frequency_hz=2.626e9)

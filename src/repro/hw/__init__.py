@@ -1,0 +1,34 @@
+"""Gate-level area and power models for PIM compute (Fig. 6, Table 3)."""
+
+from repro.hw.area import (
+    DIE_AREA_PER_CHANNEL_MM2,
+    UnitArea,
+    area_overhead_percent,
+    channel_area_mm2,
+    format_overhead_percent,
+    pipelined_unit_gates,
+    time_multiplexed_unit_gates,
+    unit_area,
+)
+from repro.hw.gates import GateLibrary
+from repro.hw.power import UnitPower, compute_energy_pj, pim_cycles_of, unit_power
+from repro.hw.units import LaneCosts, base_format, lane_costs
+
+__all__ = [
+    "DIE_AREA_PER_CHANNEL_MM2",
+    "UnitArea",
+    "area_overhead_percent",
+    "channel_area_mm2",
+    "format_overhead_percent",
+    "pipelined_unit_gates",
+    "time_multiplexed_unit_gates",
+    "unit_area",
+    "GateLibrary",
+    "UnitPower",
+    "compute_energy_pj",
+    "pim_cycles_of",
+    "unit_power",
+    "LaneCosts",
+    "base_format",
+    "lane_costs",
+]

@@ -1,0 +1,121 @@
+"""Gate-level area/energy library.
+
+The paper synthesizes the SPE with Synopsys DC at FreePDK 45 nm and scales
+to 10 nm with DeepScaleTool, applying the standard PIM assumption that a
+memory process is ~10x less dense than a logic process at the same feature
+size (Section 6.1, citing AttAcc).  We replace synthesis with NAND2-
+equivalent gate counts composed from datapath primitives — the standard
+pre-synthesis estimation technique — and apply the same two scaling steps.
+
+All primitives return gate counts; :data:`GateLibrary` turns counts into
+mm^2 and per-cycle energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: NAND2-equivalent gate costs of standard cells
+FULL_ADDER_GE = 4.5
+FLIP_FLOP_GE = 6.0
+MUX2_GE = 2.5
+XOR2_GE = 2.0
+AND2_GE = 1.0
+COMPARE_BIT_GE = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class GateLibrary:
+    """Technology constants for converting gate counts to area and power."""
+
+    #: NAND2 cell area at 45 nm, um^2 (FreePDK45 standard cell)
+    nand2_um2_45nm: float = 0.798
+    #: DeepScaleTool-style 45 nm -> 10 nm logic area scaling factor
+    scale_45_to_10: float = 14.5
+    #: density penalty of implementing logic in a DRAM process
+    memory_process_penalty: float = 10.0
+    #: structural overhead for wiring, pipeline control and clocking
+    #: (calibrated so the Pimba SPU reproduces Table 3's 0.053 mm^2)
+    structural_overhead: float = 2.37
+    #: effective switching energy per gate-equivalent per active cycle,
+    #: femtojoules (includes clock tree; calibrated to Table 3's 8.29 mW)
+    fj_per_gate_cycle: float = 2.7
+    #: average fraction of gates toggling per cycle
+    activity: float = 0.2
+
+    @property
+    def um2_per_gate(self) -> float:
+        """Effective um^2 per NAND2-equivalent in the scaled DRAM process."""
+        return (
+            self.nand2_um2_45nm / self.scale_45_to_10
+            * self.memory_process_penalty
+        )
+
+    def area_mm2(self, gates: float) -> float:
+        """Silicon area of ``gates`` NAND2 equivalents, with overheads."""
+        return gates * self.structural_overhead * self.um2_per_gate * 1e-6
+
+    def dynamic_power_w(self, gates: float, frequency_hz: float) -> float:
+        """Average switching power of a block at ``frequency_hz``."""
+        return gates * self.activity * self.fj_per_gate_cycle * 1e-15 * frequency_hz
+
+    def energy_per_cycle_pj(self, gates: float) -> float:
+        """Dynamic energy of one active cycle, picojoules."""
+        return gates * self.activity * self.fj_per_gate_cycle * 1e-3
+
+
+# -- primitive gate counts -----------------------------------------------------
+
+def adder_gates(bits: int) -> float:
+    """Ripple-carry adder."""
+    if bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    return bits * FULL_ADDER_GE
+
+
+def multiplier_gates(bits_a: int, bits_b: int) -> float:
+    """Array multiplier: partial products + carry-save reduction."""
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("multiplier operands need at least 1 bit")
+    return bits_a * bits_b * (FULL_ADDER_GE + AND2_GE)
+
+
+def shifter_gates(bits: int, max_shift: int) -> float:
+    """Logarithmic barrel shifter."""
+    if max_shift < 1:
+        return 0.0
+    stages = max(1, math.ceil(math.log2(max_shift + 1)))
+    return bits * stages * MUX2_GE
+
+
+def comparator_gates(bits: int) -> float:
+    return bits * COMPARE_BIT_GE
+
+
+def register_gates(bits: int) -> float:
+    return bits * FLIP_FLOP_GE
+
+
+def leading_zero_counter_gates(bits: int) -> float:
+    """Priority encoder used by floating-point normalizers."""
+    return bits * 3.0
+
+
+def lfsr_gates(width: int) -> float:
+    """LFSR for stochastic rounding: shift register + feedback taps."""
+    return width * FLIP_FLOP_GE + 4 * XOR2_GE
+
+
+def adder_tree_gates(lanes: int, bits: int) -> float:
+    """Balanced reduction tree of 2-input adders with width growth."""
+    if lanes < 2:
+        return 0.0
+    total = 0.0
+    width = bits
+    remaining = lanes
+    while remaining > 1:
+        total += (remaining // 2) * adder_gates(width)
+        remaining = (remaining + 1) // 2
+        width += 1
+    return total

@@ -1,0 +1,60 @@
+"""PIM datapath power/energy model (Table 3's power rows, Fig. 14 inputs)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import PimbaConfig, PimDesign
+from repro.hw.area import unit_area
+from repro.hw.gates import GateLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitPower:
+    """Power report for one processing unit."""
+
+    dynamic_w: float          #: switching power at the SPU clock
+    energy_per_cycle_pj: float
+
+    @property
+    def milliwatts(self) -> float:
+        return self.dynamic_w * 1e3
+
+
+def unit_power(config: PimbaConfig, library: GateLibrary | None = None) -> UnitPower:
+    """Average compute power of one unit at the device's PIM frequency."""
+    library = library or GateLibrary()
+    gates = unit_area(config, library).gates
+    freq = config.hbm.pim_frequency_hz
+    return UnitPower(
+        dynamic_w=library.dynamic_power_w(gates, freq),
+        energy_per_cycle_pj=library.energy_per_cycle_pj(gates),
+    )
+
+
+def compute_energy_pj(
+    config: PimbaConfig,
+    pim_cycles: float,
+    library: GateLibrary | None = None,
+) -> float:
+    """Datapath energy of a sweep occupying ``pim_cycles`` SPU cycles.
+
+    All units of all channels switch in lock-step during a sweep (all-bank
+    design), so channel energy is unit energy x units x channels.
+    """
+    library = library or GateLibrary()
+    per_unit = unit_power(config, library).energy_per_cycle_pj
+    units = config.units_per_channel * config.hbm.pseudo_channels
+    return per_unit * pim_cycles * units
+
+
+def pim_cycles_of(config: PimbaConfig, bus_cycles: float) -> float:
+    """Convert a bus-cycle schedule length to SPU cycles."""
+    return bus_cycles / config.hbm.timing.tCCD_L
+
+
+__all__ = ["UnitPower", "unit_power", "compute_energy_pj", "pim_cycles_of"]
+
+
+# Convenience: expose the design enum so callers need one import.
+PimDesign = PimDesign

@@ -1,0 +1,171 @@
+"""Datapath unit gate counts per numeric format (the Fig. 6 x-axis).
+
+Each format prices three lane-level units — element-wise multiplier,
+element-wise adder, and a MAC lane for the dot-product unit — plus any
+per-group (amortized) logic.  The relative costs drive the area ordering
+of Fig. 6:
+
+* **fp16** — 11x11 mantissa multiplier, wide align/normalize adders: the
+  most expensive datapath per lane, and only 16 lanes per column.
+* **int8 (+ scale)** — cheap 8x8 multiplier, but element-wise *addition*
+  of two scaled-integer groups needs dequantize (extra multiplier),
+  re-quantize (max-reduction comparator tree + normalizing shifter):
+  Section 4.2's hidden cost.
+* **fp8 (e4m3/e5m2)** — tiny mantissa units; cheap but inaccurate.
+* **MX8** — 6-bit integer units plus pure shifters; group exponent logic
+  amortizes over 16 lanes.  Pareto-optimal.
+* **+SR** — one LFSR per unit plus a small rounding adder per lane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.gates import (
+    adder_gates,
+    comparator_gates,
+    leading_zero_counter_gates,
+    lfsr_gates,
+    multiplier_gates,
+    register_gates,
+    shifter_gates,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LaneCosts:
+    """NAND2-equivalent costs of one SIMD lane of a format's datapath."""
+
+    multiply: float          #: element-wise multiplier lane
+    add: float               #: element-wise adder lane
+    mac: float               #: dot-product MAC lane (multiplier + feed)
+    group: float = 0.0       #: per-group shared logic (amortized by caller)
+    sr_lane: float = 0.0     #: per-lane stochastic-rounding adder
+    sr_unit: float = 0.0     #: per-unit stochastic-rounding LFSR
+
+
+#: IEEE-compliance multiplier for fp16 units: subnormal handling, sticky/
+#: guard/round logic, exception flags and the dual-path adder roughly double
+#: a bare mantissa datapath (consistent with synthesized FPU gate counts).
+IEEE_OVERHEAD = 2.2
+
+
+def fp16_costs() -> LaneCosts:
+    """IEEE half precision: 11-bit significands (hidden bit included)."""
+    mant_mult = multiplier_gates(11, 11)
+    exp_add = adder_gates(5)
+    normalize = shifter_gates(22, 22) + leading_zero_counter_gates(22)
+    rounding = adder_gates(11)
+    multiply = (mant_mult + exp_add + normalize / 2 + rounding) * IEEE_OVERHEAD
+    align = shifter_gates(11, 32)
+    add = (align + adder_gates(12) + normalize + comparator_gates(5)
+           + rounding) * IEEE_OVERHEAD
+    mac = (mant_mult + exp_add + align + adder_gates(24)) * IEEE_OVERHEAD
+    return LaneCosts(multiply=multiply, add=add, mac=mac,
+                     sr_lane=adder_gates(11), sr_unit=lfsr_gates(16))
+
+
+def int8_scaled_costs(group: int = 32) -> LaneCosts:
+    """int8 with a shared fp16 scale per group of 32 (Section 4.2)."""
+    multiply = multiplier_gates(8, 8) + adder_gates(5)  # product + scale exp
+    # Element-wise add: dequantize both operands (multiply by scale),
+    # integer add, then re-quantize: group max tree + per-lane shift.
+    dequant = 2 * multiplier_gates(8, 8)
+    requant_lane = shifter_gates(16, 8) + comparator_gates(8)
+    add = dequant + adder_gates(17) + requant_lane
+    mac = multiplier_gates(8, 8) + adder_gates(24)
+    # Shared per group: max-exponent comparator tree + scale multiplier.
+    group_logic = group * comparator_gates(8) / 4 + multiplier_gates(8, 8)
+    return LaneCosts(multiply=multiply, add=add, mac=mac, group=group_logic,
+                     sr_lane=adder_gates(8), sr_unit=lfsr_gates(16))
+
+
+def fp8_costs(man_bits: int) -> LaneCosts:
+    """e4m3 (man_bits=3) or e5m2 (man_bits=2) minifloat units.
+
+    Tiny mantissa multipliers, but every element carries its own exponent,
+    so the dot-product MAC must align each product into the wide
+    accumulator with a per-lane barrel shifter — the alignment cost MX
+    amortizes across its 16-element group (Section 4.2).
+    """
+    mant = man_bits + 1  # hidden bit
+    mant_mult = multiplier_gates(mant, mant)
+    exp_add = adder_gates(5)
+    normalize = shifter_gates(2 * mant, 2 * mant) + leading_zero_counter_gates(2 * mant)
+    multiply = mant_mult + exp_add + normalize / 2
+    align = shifter_gates(mant, 8)
+    add = align + adder_gates(mant + 1) + normalize + comparator_gates(5)
+    acc_align = shifter_gates(24, 24)
+    mac = mant_mult + exp_add + acc_align + adder_gates(24)
+    return LaneCosts(multiply=multiply, add=add, mac=mac,
+                     sr_lane=adder_gates(mant), sr_unit=lfsr_gates(16))
+
+
+def mx8_costs(group: int = 16) -> LaneCosts:
+    """MX8: 6-bit sign-magnitude integer lanes + shared exponent (Fig. 9)."""
+    # Multiplier lane: 6x6 integer product plus the 1-bit microexponent
+    # saturation shift; the >>6 renormalization is fixed wiring.
+    multiply = multiplier_gates(6, 6) + shifter_gates(12, 1)
+    # Adder lane: align shift (exponent diff + microexponent), integer add.
+    add = shifter_gates(7, 8) + adder_gates(8)
+    mac = multiplier_gates(6, 6) + adder_gates(24)
+    # Shared per group: 8-bit exponent adder + max comparator + micro OR.
+    group_logic = adder_gates(8) + comparator_gates(8) + 4.0
+    return LaneCosts(multiply=multiply, add=add, mac=mac, group=group_logic,
+                     sr_lane=adder_gates(6), sr_unit=lfsr_gates(16))
+
+
+def fp16_reduced_costs() -> LaneCosts:
+    """HBM-PIM's stripped fp16 unit (Table 3 note: non-essential logic
+    removed — no subnormals, single rounding mode)."""
+    full = fp16_costs()
+    return LaneCosts(
+        multiply=full.multiply / IEEE_OVERHEAD,
+        add=full.add / IEEE_OVERHEAD,
+        mac=full.mac / IEEE_OVERHEAD,
+        group=full.group,
+        sr_lane=full.sr_lane,
+        sr_unit=full.sr_unit,
+    )
+
+
+#: registry keyed by storage-format name (SR handled by the composer)
+FORMAT_COSTS = {
+    "fp16": fp16_costs,
+    "fp16-reduced": fp16_reduced_costs,
+    "int8": int8_scaled_costs,
+    "e4m3": lambda: fp8_costs(3),
+    "e5m2": lambda: fp8_costs(2),
+    "mx8": mx8_costs,
+}
+
+#: quantization group length per format (lanes sharing `group` logic)
+FORMAT_GROUP = {
+    "fp16": 1, "fp16-reduced": 1, "int8": 32, "e4m3": 1, "e5m2": 1, "mx8": 16,
+}
+
+#: storage bits per value (for lane-count math)
+FORMAT_BITS = {
+    "fp16": 16, "fp16-reduced": 16, "int8": 8, "e4m3": 8, "e5m2": 8, "mx8": 8,
+}
+
+
+def base_format(name: str) -> str:
+    """Strip the SR suffix: ``mx8SR`` -> ``mx8``."""
+    return name[:-2] if name.endswith("SR") else name
+
+
+def lane_costs(format_name: str) -> LaneCosts:
+    """Lane costs for a (possibly SR-suffixed) format name."""
+    base = base_format(format_name)
+    try:
+        return FORMAT_COSTS[base]()
+    except KeyError:
+        raise KeyError(
+            f"no datapath model for format {format_name!r}"
+        ) from None
+
+
+def operand_register_gates(column_bits: int, copies: int = 4) -> float:
+    """Pipeline/operand registers holding ``copies`` column-wide values."""
+    return register_gates(column_bits * copies)

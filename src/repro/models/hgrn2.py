@@ -1,0 +1,61 @@
+"""HGRN2: gated linear RNN with outer-product state expansion.
+
+HGRN2 (Qin et al. 2024) extends the classic gated RNN state from a vector
+to a (dim_head x dim_state) matrix via an outer product (Section 2.2).
+Its forget gate plays the role of the decay vector, and the *input gate*
+is tied to the forget gate as ``1 - f``:
+
+    S_t = diag(f_t) S_{t-1} + (1 - f_t) v_tᵀ ,   y_t = S_tᵀ q_t
+
+i.e. the "key" of Eq. 2 is ``k_t = 1 - f_t`` — a convex blend between
+remembering and writing.  A lower-bound schedule keeps deeper layers'
+gates closer to one (longer memory), as in the original model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import Family, ModelSpec
+from repro.models.layers import sigmoid
+
+
+class Hgrn2(BaseLlm):
+    """Functional HGRN2 (RNN with 2-D state, Section 2.2)."""
+
+    def __init__(self, spec: ModelSpec, **kwargs):
+        if spec.family is not Family.HGRN2:
+            raise ValueError(f"spec family {spec.family} is not HGRN2")
+        super().__init__(spec, **kwargs)
+
+    def _build_mixer(self, rng: np.random.Generator, layer_index: int) -> dict:
+        s = self.spec
+        # Forget-gate lower bound grows with depth: eta in [0.88, ~0.97].
+        eta = 0.88 + 0.09 * layer_index / max(1, s.n_layers - 1)
+        return {
+            "w_forget": rng.normal(
+                scale=1.0 / np.sqrt(s.d_model),
+                size=(s.d_model, s.n_heads * s.dim_head),
+            ),
+            "gate_floor": eta,
+        }
+
+    def _init_layer_cache(self, layer_index: int, batch: int) -> dict:
+        s = self.spec
+        return {"state": np.zeros((batch, s.n_heads, s.dim_head, s.dim_state))}
+
+    def _mixer_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        s = self.spec
+        layer = self.params["layers"][layer_index]
+        q, _, v = self._project_qkv(layer, x)
+        raw = sigmoid(
+            (x @ layer["w_forget"]).reshape(x.shape[0], s.n_heads, s.dim_head)
+        )
+        floor = layer["gate_floor"]
+        # Forget gate bounded inside (floor, 1): the 0.9 ceiling keeps the
+        # slowest gates away from exactly 1 (HGRN2's lower-bound trick).
+        f = floor + (1.0 - floor) * (0.05 + 0.9 * raw)
+        k = 1.0 - f                            # tied input gate
+        cache["state"], y = self.state_op(cache["state"], f, k, v, q)
+        return self._mixer_output(layer, y)

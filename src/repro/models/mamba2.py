@@ -1,0 +1,81 @@
+"""Mamba-2: selective state space model (Fig. 2b).
+
+The Mamba-2 block (Dao & Gu 2024) runs, per token:
+
+1. **Causal conv** — a short depthwise convolution over the projected
+   input stream.
+2. **Discretization** — Δ_h = softplus(w_Δᵀx + b_h) per head, turning the
+   continuous-time decay A_h > 0 into a per-step scalar
+   ``a_h = exp(−Δ_h A_h)`` and scaling the input by Δ_h.
+3. **Selective state update** — exactly Eq. 2 with scalar decay a_h,
+   ``k = B(x)``, ``v = Δ_h · x_h``, ``q = C(x)``.
+
+The block has no separate FFN (``ffn_mult = 0``); a SiLU gate on the
+output plays that role, which is why Mamba-2 models double the layer
+count at matched parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import Family, ModelSpec
+from repro.models.layers import CausalConvState, silu, softplus
+
+
+class Mamba2(BaseLlm):
+    """Functional Mamba-2 (selective SSM)."""
+
+    def __init__(self, spec: ModelSpec, **kwargs):
+        if spec.family is not Family.MAMBA2:
+            raise ValueError(f"spec family {spec.family} is not Mamba-2")
+        super().__init__(spec, **kwargs)
+
+    def _build_mixer(self, rng: np.random.Generator, layer_index: int) -> dict:
+        s = self.spec
+        scale = 1.0 / np.sqrt(s.d_model)
+        return {
+            # One Δ channel per head plus its bias (init so softplus ~ 0.2).
+            "w_dt": rng.normal(scale=scale, size=(s.d_model, s.n_heads)),
+            "dt_bias": np.full(s.n_heads, -1.5),
+            # A_h > 0, log-uniform: together with dt this puts the
+            # discrete decay a = exp(-dt A) in [~0.95, ~0.995].
+            "log_a": rng.uniform(np.log(0.03), np.log(0.3), size=s.n_heads),
+            # Depthwise causal conv over the v-stream channels.
+            "conv_kernel": rng.normal(
+                scale=1.0 / np.sqrt(s.conv_width),
+                size=(s.conv_width, s.n_heads * s.dim_state),
+            ),
+            # SiLU output gate (Mamba-2 blocks carry their own gating).
+            "w_z": rng.normal(scale=scale, size=(s.d_model, s.n_heads * s.dim_state)),
+        }
+
+    def _init_layer_cache(self, layer_index: int, batch: int) -> dict:
+        s = self.spec
+        return {
+            "state": np.zeros((batch, s.n_heads, s.dim_head, s.dim_state)),
+            "conv": CausalConvState(batch, s.n_heads * s.dim_state, s.conv_width),
+        }
+
+    def _mixer_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        s = self.spec
+        layer = self.params["layers"][layer_index]
+        batch = x.shape[0]
+
+        # q <- C(x), k <- B(x); the v stream first passes the causal conv.
+        q, k, v_flat = self._project_qkv(layer, x)
+        v_flat = v_flat.reshape(batch, -1)
+        v_conv = silu(cache["conv"].step(v_flat, layer["conv_kernel"]))
+        v = v_conv.reshape(batch, s.n_heads, s.dim_state)
+
+        # Discretization: per-head scalar decay and input scaling.
+        dt = softplus(x @ layer["w_dt"] + layer["dt_bias"])      # (batch, H)
+        a = np.exp(-dt * np.exp(layer["log_a"]))                  # (batch, H)
+        v = v * dt[..., None]
+
+        cache["state"], y = self.state_op(cache["state"], a, k, v, q)
+
+        # Output gate in place of an FFN.
+        z = silu(x @ layer["w_z"]).reshape(batch, s.n_heads, s.dim_state)
+        return self._mixer_output(layer, y * z)

@@ -1,0 +1,54 @@
+"""OPT-style transformer: softmax attention with a growing KV cache.
+
+The attention baseline of the evaluation (Fig. 2a).  Each generation step
+appends the token's K/V to the cache and attends over the whole history —
+the linear-in-sequence-length cost that motivates post-transformers.
+
+When a ``kv_format`` is supplied, cache entries are quantized **once at
+append time**.  This is the crucial semantic difference from SU-LLM state
+quantization (re-quantized after every update) and the reason transformers
+tolerate fp8 KV caches while SU-LLMs collapse (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import Family, ModelSpec
+from repro.models.layers import attention_step
+
+
+class OptTransformer(BaseLlm):
+    """Functional decoder-only transformer (multi-head attention)."""
+
+    def __init__(self, spec: ModelSpec, **kwargs):
+        if spec.family is not Family.TRANSFORMER:
+            raise ValueError(f"spec family {spec.family} is not a transformer")
+        super().__init__(spec, **kwargs)
+
+    def _build_mixer(self, rng: np.random.Generator, layer_index: int) -> dict:
+        # q/k/v/o projections come from the base class; attention itself is
+        # parameter-free.  dim_state doubles as the value width.
+        return {}
+
+    def _init_layer_cache(self, layer_index: int, batch: int) -> dict:
+        return {"k": [], "v": []}
+
+    def _mixer_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        s = self.spec
+        layer = self.params["layers"][layer_index]
+        q, k, v = self._project_qkv(layer, x)
+        # The value head width is dim_state; attention uses dh for q/k.
+        self._append_kv(cache, k, v)
+        k_cache = np.stack(cache["k"], axis=2)       # (batch, H, seq, dh)
+        v_cache = np.stack(cache["v"], axis=2)       # (batch, H, seq, ds)
+        scores = np.einsum("bhd,bhsd->bhs", q, k_cache)
+        scores = scores / np.sqrt(s.dim_head)
+        weights = np.exp(scores - scores.max(axis=-1, keepdims=True))
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        y = np.einsum("bhs,bhsv->bhv", weights, v_cache)
+        return self._mixer_output(layer, y)
+
+
+__all__ = ["OptTransformer", "attention_step"]

@@ -1,0 +1,74 @@
+"""Model registry: build any evaluated model by name at any scale."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import (
+    Family,
+    ModelSpec,
+    gla_2p7b,
+    hgrn2_2p7b,
+    mamba2_2p7b,
+    opt_7b,
+    retnet_2p7b,
+    tiny_spec,
+    zamba2_7b,
+)
+from repro.models.gla import Gla
+from repro.models.hgrn2 import Hgrn2
+from repro.models.mamba2 import Mamba2
+from repro.models.opt import OptTransformer
+from repro.models.retnet import RetNet
+from repro.models.zamba2 import Zamba2
+
+_CLASSES: dict[Family, type[BaseLlm]] = {
+    Family.RETNET: RetNet,
+    Family.GLA: Gla,
+    Family.HGRN2: Hgrn2,
+    Family.MAMBA2: Mamba2,
+    Family.ZAMBA2: Zamba2,
+    Family.TRANSFORMER: OptTransformer,
+}
+
+_SMALL_SPECS = {
+    "RetNet": retnet_2p7b,
+    "GLA": gla_2p7b,
+    "HGRN2": hgrn2_2p7b,
+    "Mamba-2": mamba2_2p7b,
+    "Zamba2": zamba2_7b,
+    "OPT": opt_7b,
+}
+
+#: evaluation order used throughout the paper's figures
+MODEL_NAMES = tuple(_SMALL_SPECS)
+
+
+def spec_for(name: str, scale: str = "small") -> ModelSpec:
+    """Return the evaluated spec for a model name.
+
+    Args:
+        name: one of ``MODEL_NAMES``.
+        scale: ``"small"`` (2.7B/7B) or ``"large"`` (~70B).
+    """
+    try:
+        spec = _SMALL_SPECS[name]()
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+    if scale == "small":
+        return spec
+    if scale == "large":
+        return spec.scaled_to(70e9)
+    raise ValueError("scale must be 'small' or 'large'")
+
+
+def build_model(spec: ModelSpec, **kwargs) -> BaseLlm:
+    """Instantiate the functional model class for a spec."""
+    return _CLASSES[spec.family](spec, **kwargs)
+
+
+def build_tiny(family: Family, seed: int = 0, **kwargs) -> BaseLlm:
+    """A tiny functional model for tests and the accuracy harness."""
+    spec = tiny_spec(family)
+    return build_model(spec, rng=np.random.default_rng(seed), **kwargs)

@@ -1,0 +1,46 @@
+"""RetNet: linear attention with fixed per-head exponential decay.
+
+Retentive Networks (Sun et al. 2023) replace softmax attention with a
+retention mechanism.  In recurrent (generation) form it is exactly Eq. 2
+with a *constant scalar* decay per head:
+
+    S_t = γ_h · S_{t-1} + k_t v_tᵀ ,   y_t = S_tᵀ q_t
+
+with γ_h = 1 − 2^{−5−h} spread across heads, so early heads forget fast
+and late heads retain long context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import Family, ModelSpec
+
+
+class RetNet(BaseLlm):
+    """Functional RetNet (Fig. 2c with scalar decay)."""
+
+    def __init__(self, spec: ModelSpec, **kwargs):
+        if spec.family is not Family.RETNET:
+            raise ValueError(f"spec family {spec.family} is not RetNet")
+        super().__init__(spec, **kwargs)
+
+    def _build_mixer(self, rng: np.random.Generator, layer_index: int) -> dict:
+        heads = np.arange(self.spec.n_heads)
+        # The canonical RetNet decay schedule: gamma = 1 - 2^(-5-i),
+        # spanning fast heads (0.969) to slow heads (~0.998).
+        gamma = 1.0 - np.exp2(-5.0 - heads * 4.0 / max(1, self.spec.n_heads - 1))
+        return {"gamma": gamma}
+
+    def _init_layer_cache(self, layer_index: int, batch: int) -> dict:
+        s = self.spec
+        return {"state": np.zeros((batch, s.n_heads, s.dim_head, s.dim_state))}
+
+    def _mixer_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        layer = self.params["layers"][layer_index]
+        q, k, v = self._project_qkv(layer, x)
+        # gamma: (H,) broadcast over the batch as a per-head scalar decay.
+        d = np.broadcast_to(layer["gamma"], (x.shape[0], self.spec.n_heads))
+        cache["state"], y = self.state_op(cache["state"], d, k, v, q)
+        return self._mixer_output(layer, y)

@@ -1,0 +1,88 @@
+"""Zamba2: hybrid Mamba-2 / attention model (Section 2.2).
+
+Zamba2 interleaves one softmax-attention layer per six Mamba-2 layers to
+restore in-context recall while keeping SSM efficiency.  Its mixer
+dispatches per layer index: attention layers carry a KV cache, Mamba-2
+layers carry a state matrix — so a Pimba device must accelerate *both*
+operations (the motivation for Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseLlm
+from repro.models.config import Family, ModelSpec
+from repro.models.layers import CausalConvState, silu, softplus
+
+
+class Zamba2(BaseLlm):
+    """Functional hybrid: Mamba-2 blocks with periodic attention."""
+
+    def __init__(self, spec: ModelSpec, **kwargs):
+        if spec.family is not Family.ZAMBA2:
+            raise ValueError(f"spec family {spec.family} is not Zamba2")
+        super().__init__(spec, **kwargs)
+
+    def is_attention_layer(self, layer_index: int) -> bool:
+        """Every (attn_every + 1)-th layer is attention, starting after
+        ``attn_every`` Mamba-2 layers."""
+        return (layer_index + 1) % (self.spec.attn_every + 1) == 0
+
+    def _build_mixer(self, rng: np.random.Generator, layer_index: int) -> dict:
+        if self.is_attention_layer(layer_index):
+            return {"is_attention": True}
+        s = self.spec
+        scale = 1.0 / np.sqrt(s.d_model)
+        return {
+            "is_attention": False,
+            "w_dt": rng.normal(scale=scale, size=(s.d_model, s.n_heads)),
+            "dt_bias": np.full(s.n_heads, -1.5),
+            "log_a": rng.uniform(np.log(0.03), np.log(0.3), size=s.n_heads),
+            "conv_kernel": rng.normal(
+                scale=1.0 / np.sqrt(s.conv_width),
+                size=(s.conv_width, s.n_heads * s.dim_state),
+            ),
+            "w_z": rng.normal(scale=scale, size=(s.d_model, s.n_heads * s.dim_state)),
+        }
+
+    def _init_layer_cache(self, layer_index: int, batch: int) -> dict:
+        s = self.spec
+        if self.is_attention_layer(layer_index):
+            return {"k": [], "v": []}
+        return {
+            "state": np.zeros((batch, s.n_heads, s.dim_head, s.dim_state)),
+            "conv": CausalConvState(batch, s.n_heads * s.dim_state, s.conv_width),
+        }
+
+    def _mixer_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        if self.is_attention_layer(layer_index):
+            return self._attention_step(layer_index, x, cache)
+        return self._mamba_step(layer_index, x, cache)
+
+    def _attention_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        s = self.spec
+        layer = self.params["layers"][layer_index]
+        q, k, v = self._project_qkv(layer, x)
+        self._append_kv(cache, k, v)
+        k_cache = np.stack(cache["k"], axis=2)
+        v_cache = np.stack(cache["v"], axis=2)
+        scores = np.einsum("bhd,bhsd->bhs", q, k_cache) / np.sqrt(s.dim_head)
+        weights = np.exp(scores - scores.max(axis=-1, keepdims=True))
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        y = np.einsum("bhs,bhsv->bhv", weights, v_cache)
+        return self._mixer_output(layer, y)
+
+    def _mamba_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+        s = self.spec
+        layer = self.params["layers"][layer_index]
+        batch = x.shape[0]
+        q, k, v_flat = self._project_qkv(layer, x)
+        v_conv = silu(cache["conv"].step(v_flat.reshape(batch, -1), layer["conv_kernel"]))
+        v = v_conv.reshape(batch, s.n_heads, s.dim_state)
+        dt = softplus(x @ layer["w_dt"] + layer["dt_bias"])
+        a = np.exp(-dt * np.exp(layer["log_a"]))
+        v = v * dt[..., None]
+        cache["state"], y = self.state_op(cache["state"], a, k, v, q)
+        z = silu(x @ layer["w_z"]).reshape(batch, s.n_heads, s.dim_state)
+        return self._mixer_output(layer, y * z)

@@ -1,0 +1,61 @@
+"""Performance, energy and system models (the Section 6 evaluation rig)."""
+
+from repro.perf.energy import (
+    CATEGORIES,
+    EnergyBreakdown,
+    EnergyModel,
+    step_energy_for,
+)
+from repro.perf.gpu import GpuModel, GpuSpec, a100, h100
+from repro.perf.operators import (
+    OpCost,
+    OpKind,
+    PrecisionConfig,
+    arithmetic_intensity,
+    generation_step_ops,
+    ops_by_kind,
+)
+from repro.perf.parallelism import (
+    Interconnect,
+    all_reduce_seconds,
+    communication_seconds,
+    nvlink3,
+    nvlink4,
+)
+from repro.perf.roofline import RooflinePoint, roofline_points
+from repro.perf.system import (
+    GenerationMetrics,
+    ServingSystem,
+    StepBreakdown,
+    SystemKind,
+    build_system,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "step_energy_for",
+    "GpuModel",
+    "GpuSpec",
+    "a100",
+    "h100",
+    "OpCost",
+    "OpKind",
+    "PrecisionConfig",
+    "arithmetic_intensity",
+    "generation_step_ops",
+    "ops_by_kind",
+    "Interconnect",
+    "all_reduce_seconds",
+    "communication_seconds",
+    "nvlink3",
+    "nvlink4",
+    "RooflinePoint",
+    "roofline_points",
+    "GenerationMetrics",
+    "ServingSystem",
+    "StepBreakdown",
+    "SystemKind",
+    "build_system",
+]

@@ -1,0 +1,171 @@
+"""System energy model for one generation step (Fig. 14).
+
+Energy splits into the paper's six categories: state-update I/O and
+compute, attention I/O and compute, GEMM, and others.  The decisive
+effects:
+
+* PIM execution pays DRAM *array* energy for the state/KV sweep but not
+  the channel *I/O* energy a GPU pays to move the same bytes — only the
+  (small) operand/result transfers cross the bus.
+* MX8 halves the bits touched relative to fp16, on top of that.
+* GEMM energy (weights + tensor-core FLOPs) is identical across systems,
+  which is why end-to-end savings saturate around ~2x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dram.energy import DramEnergyParams
+from repro.models.config import ModelSpec
+from repro.perf.operators import OpKind, generation_step_ops
+from repro.perf.system import ServingSystem, SystemKind
+
+#: marginal tensor-core datapath energy per FLOP (excludes static chip
+#: power, which is identical across systems and cancels in Fig. 14's
+#: normalized bars)
+GPU_PJ_PER_FLOP = 0.25
+
+#: host-side cost of moving one bit over the channel: HBM PHY, memory
+#: controller and on-chip interconnect (on top of the DRAM-side I/O
+#: energy).  This is the energy PIM execution avoids.
+HOST_PJ_PER_BIT = 5.2
+
+#: Fig. 14 legend categories
+CATEGORIES = (
+    "State Update (I/O)",
+    "State Update (Compute)",
+    "Attention (I/O)",
+    "Attention (Compute)",
+    "GEMM",
+    "Others",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per generation step across all devices."""
+
+    joules_by_category: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.joules_by_category.values())
+
+    def fraction(self, category: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.joules_by_category.get(category, 0.0) / self.total
+
+
+class EnergyModel:
+    """Prices one generation step of a serving system in joules."""
+
+    def __init__(
+        self,
+        system: ServingSystem,
+        dram: DramEnergyParams | None = None,
+        gpu_pj_per_flop: float = GPU_PJ_PER_FLOP,
+        host_pj_per_bit: float = HOST_PJ_PER_BIT,
+    ):
+        self.system = system
+        self.dram = dram or DramEnergyParams()
+        self.gpu_pj_per_flop = gpu_pj_per_flop
+        self.host_pj_per_bit = host_pj_per_bit
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _array_j(self, n_bytes: float) -> float:
+        return n_bytes * 8 * self.dram.array_pj_per_bit * 1e-12
+
+    def _io_j(self, n_bytes: float) -> float:
+        """Bytes that cross the channel to the host (DRAM I/O + PHY/SoC)."""
+        per_bit = self.dram.io_pj_per_bit + self.host_pj_per_bit
+        return n_bytes * 8 * per_bit * 1e-12
+
+    def _gpu_compute_j(self, flops: float) -> float:
+        return flops * self.gpu_pj_per_flop * 1e-12
+
+    def _pim_compute_j(self, op_kind: OpKind, spec: ModelSpec, batch: int,
+                       seq_len: int) -> float:
+        from repro.hw.power import unit_power  # local import avoids a cycle
+
+        pim = self.system.pim
+        heads = max(1, round(batch * spec.n_heads / self.system.n_devices))
+        if op_kind is OpKind.STATE_UPDATE:
+            timing = pim.state_update_timing(heads, spec.dim_head, spec.dim_state)
+            layers = spec.state_update_layers
+        else:
+            timing = pim.attention_timing(
+                heads, spec.dim_head, seq_len, dim_value=spec.dim_state
+            )
+            layers = spec.attention_layers
+        pim_cycles = timing.sweep.comp_cycles / pim.config.hbm.timing.tCCD_L
+        per_cycle_pj = unit_power(pim.config).energy_per_cycle_pj
+        units = pim.config.units_per_channel * pim.config.hbm.pseudo_channels
+        return per_cycle_pj * pim_cycles * units * layers * 1e-12
+
+    # -- main entry --------------------------------------------------------------
+
+    def step_energy(self, spec: ModelSpec, batch: int, seq_len: int) -> EnergyBreakdown:
+        """Energy of one generation step, summed over all devices."""
+        sys = self.system
+        ops = generation_step_ops(
+            spec, batch, seq_len, sys.precision, tp_degree=sys.n_devices
+        )
+        out = {c: 0.0 for c in CATEGORIES}
+        heads = spec.n_heads / sys.n_devices
+
+        for op in ops:
+            if op.kind is OpKind.GEMM:
+                out["GEMM"] += (
+                    self._array_j(op.bytes) + self._io_j(op.bytes)
+                    + self._gpu_compute_j(op.flops)
+                )
+            elif op.kind is OpKind.STATE_UPDATE:
+                on_pim = op.kind in sys.offloads
+                operand_bytes = (
+                    spec.state_update_layers * batch * heads
+                    * (3 * spec.dim_head + spec.dim_state) * sys.precision.act_bytes
+                )
+                out["State Update (I/O)"] += self._array_j(op.bytes)
+                if on_pim:
+                    out["State Update (I/O)"] += self._io_j(operand_bytes)
+                    out["State Update (Compute)"] += self._pim_compute_j(
+                        op.kind, spec, batch, seq_len
+                    )
+                else:
+                    out["State Update (I/O)"] += self._io_j(op.bytes)
+                    out["State Update (Compute)"] += self._gpu_compute_j(op.flops)
+            elif op.kind is OpKind.ATTENTION:
+                on_pim = op.kind in sys.offloads
+                score_bytes = (
+                    spec.attention_layers * batch * heads * seq_len * 2.0
+                )
+                out["Attention (I/O)"] += self._array_j(op.bytes)
+                if on_pim:
+                    out["Attention (I/O)"] += self._io_j(score_bytes)
+                    out["Attention (Compute)"] += self._pim_compute_j(
+                        op.kind, spec, batch, seq_len
+                    )
+                else:
+                    out["Attention (I/O)"] += self._io_j(op.bytes)
+                    out["Attention (Compute)"] += self._gpu_compute_j(op.flops)
+            else:
+                out["Others"] += (
+                    self._array_j(op.bytes) + self._io_j(op.bytes)
+                    + self._gpu_compute_j(op.flops)
+                    + self._io_j(op.comm_bytes)
+                )
+
+        scaled = {c: j * sys.n_devices for c, j in out.items()}
+        return EnergyBreakdown(joules_by_category=scaled)
+
+
+def step_energy_for(
+    kind: SystemKind, spec: ModelSpec, batch: int, seq_len: int, scale: str = "large"
+) -> EnergyBreakdown:
+    """Convenience wrapper used by the Fig. 14 bench."""
+    from repro.perf.system import build_system
+
+    return EnergyModel(build_system(kind, scale)).step_energy(spec, batch, seq_len)

@@ -1,0 +1,98 @@
+"""Analytic GPU performance model (roofline with per-op efficiencies).
+
+Generation-phase operators are almost all bandwidth-bound (Fig. 1b), so a
+roofline — ``time = max(flops / (peak x eff), bytes / (bw x eff))`` — with
+per-operator-class efficiency factors reproduces the latency breakdowns
+the paper measures on real A100s (Fig. 3).  The efficiency factors are
+calibrated once against the paper's stated RetNet breakdown (state updates
+41.9% of latency at batch 32, 73.8% at batch 128) and then reused for
+every model, batch size, and GPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dram.timing import HbmConfig, a100_hbm, h100_hbm
+from repro.perf.operators import OpCost, OpKind
+
+#: fraction of peak memory bandwidth each op class sustains
+_MEM_EFFICIENCY = {
+    OpKind.GEMM: 0.80,
+    OpKind.STATE_UPDATE: 0.75,   # clean per-request streaming kernels
+    OpKind.ATTENTION: 0.70,      # gather over paged KV blocks
+    OpKind.DISCRETIZATION: 0.50,
+    OpKind.CAUSAL_CONV: 0.50,
+    OpKind.OTHER: 0.50,
+    OpKind.COMMUNICATION: 1.0,
+}
+
+#: fraction of peak tensor throughput each op class sustains
+_COMPUTE_EFFICIENCY = {
+    OpKind.GEMM: 0.60,
+    OpKind.STATE_UPDATE: 0.30,
+    OpKind.ATTENTION: 0.40,
+    OpKind.DISCRETIZATION: 0.10,
+    OpKind.CAUSAL_CONV: 0.10,
+    OpKind.OTHER: 0.10,
+    OpKind.COMMUNICATION: 1.0,
+}
+
+#: fixed launch/sync cost per operator class per step, seconds
+_LAUNCH_OVERHEAD_S = 5e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """One GPU's peak numbers."""
+
+    name: str
+    peak_fp16_flops: float
+    hbm: HbmConfig
+
+    @property
+    def mem_bandwidth(self) -> float:
+        return self.hbm.device_bandwidth_bytes
+
+
+def a100() -> GpuSpec:
+    """NVIDIA A100 80GB: 312 TFLOPS fp16, ~1.94 TB/s HBM2E."""
+    return GpuSpec("A100", peak_fp16_flops=312e12, hbm=a100_hbm())
+
+
+def h100() -> GpuSpec:
+    """NVIDIA H100 SXM: 989 TFLOPS fp16, ~3.36 TB/s HBM3."""
+    return GpuSpec("H100", peak_fp16_flops=989e12, hbm=h100_hbm())
+
+
+class GpuModel:
+    """Turns :class:`OpCost` records into seconds on one GPU."""
+
+    def __init__(self, spec: GpuSpec | None = None):
+        self.spec = spec or a100()
+
+    def op_seconds(self, op: OpCost) -> float:
+        """Roofline latency of one operator class."""
+        if op.kind is OpKind.COMMUNICATION:
+            raise ValueError("communication is priced by the parallelism model")
+        compute = op.flops / (self.spec.peak_fp16_flops * _COMPUTE_EFFICIENCY[op.kind])
+        memory = op.bytes / (self.spec.mem_bandwidth * _MEM_EFFICIENCY[op.kind])
+        return max(compute, memory) + _LAUNCH_OVERHEAD_S
+
+    def ridge_intensity(self, kind: OpKind = OpKind.GEMM) -> float:
+        """FLOPs/byte where an op class turns compute-bound (Fig. 1b)."""
+        return (
+            self.spec.peak_fp16_flops * _COMPUTE_EFFICIENCY[kind]
+            / (self.spec.mem_bandwidth * _MEM_EFFICIENCY[kind])
+        )
+
+    def attained_flops(self, op: OpCost) -> float:
+        """Roofline-attained FLOP/s for an op (the Fig. 1b y-axis)."""
+        seconds = self.op_seconds(op)
+        if seconds == 0:
+            return 0.0
+        return op.flops / seconds
+
+    def prefill_seconds(self, total_flops: float, efficiency: float = 0.5) -> float:
+        """Compute-bound prefill estimate (long sequences, big GEMMs)."""
+        return total_flops / (self.spec.peak_fp16_flops * efficiency)

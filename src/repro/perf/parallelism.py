@@ -1,0 +1,57 @@
+"""Multi-device parallelism cost model (Section 5.6).
+
+Large-scale (70B) runs shard each model across eight devices with tensor
+parallelism; every sharded layer ends in an all-reduce over NVLink.
+The ring all-reduce moves ``2 (N-1) / N`` times the payload per link.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Interconnect:
+    """Per-device link bandwidth of the GPU-to-GPU fabric."""
+
+    name: str
+    bandwidth_bytes: float
+    latency_s: float = 3e-6
+
+
+def nvlink3() -> Interconnect:
+    """NVLink3 (DGX A100): 600 GB/s per device."""
+    return Interconnect("NVLink3", bandwidth_bytes=600e9)
+
+
+def nvlink4() -> Interconnect:
+    """NVLink4 (DGX H100): 900 GB/s per device."""
+    return Interconnect("NVLink4", bandwidth_bytes=900e9)
+
+
+def all_reduce_seconds(
+    payload_bytes: float, n_devices: int, link: Interconnect
+) -> float:
+    """Ring all-reduce latency for one payload."""
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    if n_devices == 1:
+        return 0.0
+    wire = 2.0 * (n_devices - 1) / n_devices * payload_bytes / link.bandwidth_bytes
+    return wire + 2 * (n_devices - 1) * link.latency_s
+
+
+def communication_seconds(
+    comm_bytes: float,
+    n_reduces: int,
+    n_devices: int,
+    link: Interconnect,
+) -> float:
+    """Total all-reduce time when ``comm_bytes`` is spread over ``n_reduces``.
+
+    Splitting matters because each all-reduce pays the per-hop latency.
+    """
+    if n_reduces <= 0 or comm_bytes == 0 or n_devices == 1:
+        return 0.0
+    per_payload = comm_bytes / n_reduces
+    return n_reduces * all_reduce_seconds(per_payload, n_devices, link)

@@ -1,0 +1,57 @@
+"""Roofline analysis helpers (Fig. 1b).
+
+Places operator classes on the (arithmetic intensity, attained FLOP/s)
+plane for a GPU: state update has ~4x the intensity of attention, yet both
+sit far left of the GEMM ridge point — the memory-bound motivation for
+PIM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models.config import ModelSpec
+from repro.perf.gpu import GpuModel, GpuSpec
+from repro.perf.operators import (
+    OpKind,
+    arithmetic_intensity,
+    generation_step_ops,
+    ops_by_kind,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One operator class on the roofline plane."""
+
+    kind: OpKind
+    intensity: float         #: FLOPs per byte
+    attained_flops: float    #: FLOP/s under the roofline
+    memory_bound: bool
+
+    @property
+    def attained_tflops(self) -> float:
+        return self.attained_flops / 1e12
+
+
+def roofline_points(
+    spec: ModelSpec,
+    batch: int,
+    seq_len: int,
+    gpu: GpuSpec | None = None,
+) -> dict[OpKind, RooflinePoint]:
+    """Roofline placement of every op class in one generation step."""
+    model = GpuModel(gpu) if gpu else GpuModel()
+    merged = ops_by_kind(generation_step_ops(spec, batch, seq_len))
+    points = {}
+    for kind, op in merged.items():
+        if kind is OpKind.COMMUNICATION:
+            continue
+        intensity = arithmetic_intensity(op)
+        points[kind] = RooflinePoint(
+            kind=kind,
+            intensity=intensity,
+            attained_flops=model.attained_flops(op),
+            memory_bound=intensity < model.ridge_intensity(kind),
+        )
+    return points

@@ -1,0 +1,240 @@
+"""Full serving-system models: GPU, GPU+Q, GPU+PIM, Pimba, NeuPIMs.
+
+The Section 6.1 baselines, composed from the substrates:
+
+* **GPU** — everything on the GPU roofline, fp16 state/KV.
+* **GPU+Q** — same, with int8 state/KV (bitwidth-matched to Pimba).
+* **GPU+PIM** — state update and attention offloaded to an HBM-PIM-style
+  time-multiplexed fp16 PIM (no access interleaving, no Fig. 11 overlap).
+* **Pimba** — state update and attention on the shared-SPU MX8 PIM.
+* **NeuPIMs** — attention-only per-bank PIM (fp16 GEMV with dual row
+  buffers); state updates stay on the GPU (Fig. 15's comparison).
+
+GPU and PIM execute in a blocked, mutually exclusive fashion (Section 5.6),
+so a step's latency is the sum over operator classes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.accelerator import PimbaAccelerator
+from repro.core.config import (
+    PimbaConfig,
+    hbm_pim_config,
+    per_bank_pipelined_config,
+    pimba_config,
+)
+from repro.models.config import ModelSpec
+from repro.perf.gpu import GpuModel, GpuSpec, a100
+from repro.perf.operators import (
+    OpCost,
+    OpKind,
+    PrecisionConfig,
+    generation_step_ops,
+)
+from repro.perf.parallelism import Interconnect, communication_seconds, nvlink3
+
+
+class SystemKind(enum.Enum):
+    """The five evaluated serving systems."""
+
+    GPU = "GPU"
+    GPU_Q = "GPU+Q"
+    GPU_PIM = "GPU+PIM"
+    PIMBA = "Pimba"
+    NEUPIMS = "NeuPIMs"
+
+
+#: int8 with a 16-bit scale per 32 elements
+_INT8_BYTES = 8.5 / 8
+#: MX8
+_MX8_BYTES = 1.0
+
+_PRECISIONS = {
+    SystemKind.GPU: PrecisionConfig(),
+    SystemKind.GPU_Q: PrecisionConfig(state_bytes=_INT8_BYTES, kv_bytes=_INT8_BYTES),
+    SystemKind.GPU_PIM: PrecisionConfig(),
+    SystemKind.PIMBA: PrecisionConfig(state_bytes=_MX8_BYTES, kv_bytes=_MX8_BYTES),
+    SystemKind.NEUPIMS: PrecisionConfig(),
+}
+
+_OFFLOADS = {
+    SystemKind.GPU: frozenset(),
+    SystemKind.GPU_Q: frozenset(),
+    SystemKind.GPU_PIM: frozenset({OpKind.STATE_UPDATE, OpKind.ATTENTION}),
+    SystemKind.PIMBA: frozenset({OpKind.STATE_UPDATE, OpKind.ATTENTION}),
+    SystemKind.NEUPIMS: frozenset({OpKind.ATTENTION}),
+}
+
+#: blocked GPU->PIM dispatch cost per offloaded layer (Section 5.6: the two
+#: engines alternate; each handoff drains the command queue)
+_PIM_DISPATCH_S = 3e-6
+#: extra per attention layer: the score results return to the GPU for the
+#: softmax, then the attend phase is re-dispatched (two more boundaries
+#: plus the softmax kernel itself)
+_ATTENTION_ROUNDTRIP_S = 40e-6
+
+
+def _pim_for(kind: SystemKind, gpu: GpuSpec) -> PimbaConfig | None:
+    if kind is SystemKind.GPU_PIM:
+        return hbm_pim_config(hbm=gpu.hbm)
+    if kind is SystemKind.PIMBA:
+        return pimba_config(hbm=gpu.hbm)
+    if kind is SystemKind.NEUPIMS:
+        # Per-bank fp16 GEMV units; dual row buffers make attention
+        # streaming hazard-free, equivalent to the pipelined read path.
+        return per_bank_pipelined_config(hbm=gpu.hbm)
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class StepBreakdown:
+    """Latency of one generation step, split by operator class."""
+
+    seconds_by_kind: dict[OpKind, float]
+    placements: dict[OpKind, str]
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds_by_kind.values())
+
+    def fraction(self, kind: OpKind) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.seconds_by_kind.get(kind, 0.0) / self.total
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationMetrics:
+    """Throughput/latency/memory of one serving configuration."""
+
+    tokens_per_second: float     #: generation-phase throughput
+    decode_seconds: float
+    prefill_seconds: float
+    step: StepBreakdown
+    memory_bytes_per_device: float
+
+
+class ServingSystem:
+    """One of the paper's five systems, ready to price workloads."""
+
+    def __init__(
+        self,
+        kind: SystemKind,
+        gpu: GpuSpec | None = None,
+        n_devices: int = 1,
+        link: Interconnect | None = None,
+    ):
+        self.kind = kind
+        self.gpu_spec = gpu or a100()
+        self.gpu = GpuModel(self.gpu_spec)
+        self.n_devices = n_devices
+        self.link = link or nvlink3()
+        self.precision = _PRECISIONS[kind]
+        self.offloads = _OFFLOADS[kind]
+        pim_cfg = _pim_for(kind, self.gpu_spec)
+        self.pim = PimbaAccelerator(pim_cfg) if pim_cfg else None
+
+    # -- one generation step ---------------------------------------------------
+
+    def step_latency(self, spec: ModelSpec, batch: int, seq_len: int) -> StepBreakdown:
+        """Latency of generating one token for a batch at context ``seq_len``."""
+        ops = generation_step_ops(
+            spec, batch, seq_len, self.precision, tp_degree=self.n_devices
+        )
+        seconds: dict[OpKind, float] = {}
+        placements: dict[OpKind, str] = {}
+        for op in ops:
+            if op.kind is OpKind.COMMUNICATION:
+                reduces = spec.n_layers * (2 if spec.ffn_mult else 1)
+                seconds[op.kind] = communication_seconds(
+                    op.comm_bytes, reduces, self.n_devices, self.link
+                )
+                placements[op.kind] = self.link.name
+            elif op.kind in self.offloads and self.pim is not None:
+                seconds[op.kind] = self._pim_seconds(op, spec, batch, seq_len)
+                placements[op.kind] = "PIM"
+            else:
+                seconds[op.kind] = self.gpu.op_seconds(op)
+                placements[op.kind] = self.gpu_spec.name
+        return StepBreakdown(seconds_by_kind=seconds, placements=placements)
+
+    def _pim_seconds(
+        self, op: OpCost, spec: ModelSpec, batch: int, seq_len: int
+    ) -> float:
+        heads = max(1, round(batch * spec.n_heads / self.n_devices))
+        if op.kind is OpKind.STATE_UPDATE:
+            per_layer = self.pim.state_update_timing(
+                heads, spec.dim_head, spec.dim_state
+            ).seconds + _PIM_DISPATCH_S
+            return per_layer * spec.state_update_layers
+        per_layer = (
+            self.pim.attention_timing(
+                heads, spec.dim_head, seq_len, dim_value=spec.dim_state
+            ).seconds
+            + _PIM_DISPATCH_S
+            + _ATTENTION_ROUNDTRIP_S
+        )
+        return per_layer * spec.attention_layers
+
+    # -- end-to-end request batches ----------------------------------------------
+
+    def prefill_latency(self, spec: ModelSpec, batch: int, input_len: int) -> float:
+        """Compute-bound prefill estimate (runs on the GPU in every system)."""
+        proj_flops = 2.0 * spec.param_count / self.n_devices * batch * input_len
+        attn_flops = (
+            spec.attention_layers * batch * spec.n_heads / self.n_devices
+            * input_len**2 * (spec.dim_head + spec.dim_state)
+        )
+        return self.gpu.prefill_seconds(proj_flops + attn_flops)
+
+    def generation_metrics(
+        self,
+        spec: ModelSpec,
+        batch: int,
+        input_len: int = 2048,
+        output_len: int = 2048,
+    ) -> GenerationMetrics:
+        """Throughput over a full (input_len, output_len) batch.
+
+        Generation-phase throughput is reported as in Fig. 12: tokens
+        generated per second of decode time, with attention priced at the
+        mid-generation context length (state updates are length-invariant).
+        """
+        mid_seq = input_len + output_len // 2
+        step = self.step_latency(spec, batch, mid_seq)
+        decode = step.total * output_len
+        prefill = self.prefill_latency(spec, batch, input_len)
+        throughput = batch * output_len / decode if decode else 0.0
+        return GenerationMetrics(
+            tokens_per_second=throughput,
+            decode_seconds=decode,
+            prefill_seconds=prefill,
+            step=step,
+            memory_bytes_per_device=self.memory_usage(
+                spec, batch, input_len + output_len
+            ),
+        )
+
+    def memory_usage(self, spec: ModelSpec, batch: int, seq_len: int) -> float:
+        """Per-device bytes: weights + states + KV caches (Fig. 15 right)."""
+        weights = spec.param_count * self.precision.weight_bytes / self.n_devices
+        states = (
+            spec.state_update_layers * batch * spec.state_values_per_layer
+            / self.n_devices * self.precision.state_bytes
+        )
+        kv = (
+            spec.attention_layers * batch * spec.n_heads / self.n_devices
+            * seq_len * (spec.dim_head + spec.dim_state)
+            * self.precision.kv_bytes
+        )
+        return weights + states + kv
+
+
+def build_system(kind: SystemKind, scale: str = "small", gpu: GpuSpec | None = None,
+                 link: Interconnect | None = None) -> ServingSystem:
+    """Convenience constructor: small scale = 1 device, large = DGX (8)."""
+    n_devices = 1 if scale == "small" else 8
+    return ServingSystem(kind, gpu=gpu, n_devices=n_devices, link=link)

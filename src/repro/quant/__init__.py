@@ -1,0 +1,46 @@
+"""Quantization substrate: storage formats, rounding, and MX arithmetic.
+
+This package rebuilds everything Section 3.2 / 4.2 / 5.3 of the paper rely
+on: the nine low-precision storage formats swept in Fig. 4, the LFSR-based
+stochastic rounding hardware, and the bit-faithful MX multiplier/adder
+datapath of Fig. 9.
+"""
+
+from repro.quant.arithmetic import (
+    DotProductUnit,
+    MxAdder,
+    MxMultiplier,
+    add_blocks,
+    multiply_blocks,
+)
+from repro.quant.floatpoint import MiniFloatFormat, e4m3, e5m2
+from repro.quant.formats import Float16Format, Float32Format, StorageFormat
+from repro.quant.integer import Int8GroupFormat
+from repro.quant.lfsr import Lfsr
+from repro.quant.mx import GROUP_SIZE, MANTISSA_BITS, Mx8Format, MxBlock
+from repro.quant.registry import FIG4_FORMATS, available_formats, get_format
+from repro.quant.rounding import RoundingMode
+
+__all__ = [
+    "DotProductUnit",
+    "MxAdder",
+    "MxMultiplier",
+    "add_blocks",
+    "multiply_blocks",
+    "MiniFloatFormat",
+    "e4m3",
+    "e5m2",
+    "Float16Format",
+    "Float32Format",
+    "StorageFormat",
+    "Int8GroupFormat",
+    "Lfsr",
+    "GROUP_SIZE",
+    "MANTISSA_BITS",
+    "Mx8Format",
+    "MxBlock",
+    "FIG4_FORMATS",
+    "available_formats",
+    "get_format",
+    "RoundingMode",
+]

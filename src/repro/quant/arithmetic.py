@@ -1,0 +1,139 @@
+"""Hardware-faithful MX arithmetic — the SPE datapath of Fig. 9.
+
+The MX format was designed for GEMM; Pimba extends it with element-wise
+multiply and add units (Section 5.3).  Both units operate at three levels:
+
+1. one shared-exponent unit per group,
+2. per-pair microexponent logic,
+3. integer sign/mantissa units per element.
+
+:class:`MxMultiplier` implements Fig. 9(a): exponents add; microexponents
+add and saturate at 1 (an overflowing pair right-shifts its product
+mantissas by one); mantissas multiply as integers and are renormalized back
+to 6 bits.
+
+:class:`MxAdder` implements Fig. 9(b): the result exponent is the max of the
+two operand exponents; the smaller-exponent group right-shifts its mantissas
+by the difference; every element additionally right-shifts by its own
+microexponent, so the result always carries microexponent 0 (as the paper
+states).  A group-wide mantissa overflow renormalizes by one extra shift.
+
+:class:`DotProductUnit` models the in-pipeline GEMV unit: element products
+are accumulated exactly into a wide accumulator register (the partial sums
+Pimba ships back to the GPU), so no precision is lost after the operand
+quantization itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.lfsr import Lfsr
+from repro.quant.mx import (
+    GROUP_SIZE,
+    MANTISSA_BITS,
+    MANTISSA_MAX,
+    PAIR_SIZE,
+    MxBlock,
+)
+
+
+def _shift_round(value: np.ndarray, shift: np.ndarray, lfsr: Lfsr | None) -> np.ndarray:
+    """Arithmetic right shift with optional LFSR stochastic rounding.
+
+    Without an LFSR the shifted-out bits are truncated toward zero, which is
+    what a plain shifter does; with an LFSR, a random value below the shift
+    granularity is added to the magnitude first (the FAST-style SR adder).
+    """
+    value = np.asarray(value, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    if np.any(shift < 0):
+        raise ValueError("shift amounts must be non-negative")
+    sign = np.sign(value)
+    mag = np.abs(value)
+    if lfsr is not None:
+        noise = np.array([lfsr.next_bits(lfsr.width) for _ in range(value.size)])
+        noise = noise.reshape(value.shape)
+        # Scale the LFSR draw to [0, 2**shift): compare against the bits
+        # that will be shifted out.
+        granule = np.left_shift(np.int64(1), shift)
+        mag = mag + (noise % np.maximum(granule, 1)) * (shift > 0)
+    mag = np.right_shift(mag, shift)
+    return sign * mag
+
+
+def _saturate(mant: np.ndarray) -> np.ndarray:
+    return np.clip(mant, -MANTISSA_MAX, MANTISSA_MAX)
+
+
+class MxMultiplier:
+    """Element-wise MX multiply unit (Fig. 9a)."""
+
+    def __init__(self, lfsr: Lfsr | None = None):
+        self.lfsr = lfsr
+
+    def __call__(self, a: MxBlock, b: MxBlock) -> MxBlock:
+        out_exp = a.exp + b.exp
+        micro_sum = a.micro + b.micro
+        out_micro = np.minimum(micro_sum, 1)
+        # Pairs whose microexponent sum exceeded the 1-bit range shift their
+        # mantissas right by the excess to stay correctly scaled.
+        excess = micro_sum - out_micro
+
+        product = a.mant * b.mant  # |p| <= 63*63 = 3969, 12 bits + sign
+        shift = MANTISSA_BITS + np.repeat(excess, PAIR_SIZE)
+        mant = _shift_round(product, shift, self.lfsr)
+        return MxBlock(exp=out_exp, micro=out_micro, mant=_saturate(mant))
+
+
+class MxAdder:
+    """Element-wise MX add unit (Fig. 9b); result microexponent is 0."""
+
+    def __init__(self, lfsr: Lfsr | None = None):
+        self.lfsr = lfsr
+
+    def _align(self, block: MxBlock, target_exp: int) -> np.ndarray:
+        shift = (target_exp - block.exp) + block.element_micro
+        return _shift_round(block.mant, shift, self.lfsr)
+
+    def __call__(self, a: MxBlock, b: MxBlock) -> MxBlock:
+        out_exp = max(a.exp, b.exp)
+        total = self._align(a, out_exp) + self._align(b, out_exp)
+        # Group-wide renormalization when the integer add overflows 6 bits.
+        while np.any(np.abs(total) > MANTISSA_MAX):
+            total = _shift_round(total, np.ones_like(total), self.lfsr)
+            out_exp += 1
+        zeros = np.zeros(GROUP_SIZE // PAIR_SIZE, dtype=np.int64)
+        return MxBlock(exp=out_exp, micro=zeros, mant=total)
+
+
+class DotProductUnit:
+    """In-pipeline GEMV unit with a wide (exact) accumulator register."""
+
+    def __init__(self) -> None:
+        self.accumulator = 0.0
+
+    def reset(self) -> None:
+        self.accumulator = 0.0
+
+    def accumulate(self, a: MxBlock, b: MxBlock) -> float:
+        """Accumulate ``dot(decode(a), decode(b))`` and return the new sum.
+
+        Mantissa products are integers and the scale factors are powers of
+        two, so float64 accumulation is bit-exact with respect to a
+        sufficiently wide fixed-point accumulator.
+        """
+        scale_a = np.exp2(a.exp - a.element_micro - MANTISSA_BITS)
+        scale_b = np.exp2(b.exp - b.element_micro - MANTISSA_BITS)
+        self.accumulator += float(np.sum(a.mant * b.mant * scale_a * scale_b))
+        return self.accumulator
+
+
+def multiply_blocks(a: MxBlock, b: MxBlock, lfsr: Lfsr | None = None) -> MxBlock:
+    """Convenience wrapper around :class:`MxMultiplier`."""
+    return MxMultiplier(lfsr)(a, b)
+
+
+def add_blocks(a: MxBlock, b: MxBlock, lfsr: Lfsr | None = None) -> MxBlock:
+    """Convenience wrapper around :class:`MxAdder`."""
+    return MxAdder(lfsr)(a, b)

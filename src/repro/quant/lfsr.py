@@ -1,0 +1,79 @@
+"""Linear Feedback Shift Register (LFSR) random source.
+
+The Pimba SPE implements stochastic rounding in hardware with an LFSR plus a
+mantissa adder (Section 4.2; the paper cites FAST [60] for the same trick).
+This module models a Fibonacci LFSR bit-faithfully so the hardware-level SPE
+model (``repro.core.spe``) can reproduce the exact random sequence a given
+seed would generate in silicon, and so area/power accounting has a concrete
+register width to count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Maximal-length tap sets (XOR form), indexed by register width.
+_TAPS = {
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 30, 26, 25),
+}
+
+
+class Lfsr:
+    """A Fibonacci LFSR over GF(2) with a maximal-length polynomial.
+
+    Args:
+        width: register width in bits (8, 16, 24 or 32).
+        seed: initial register contents; must be non-zero.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1):
+        if width not in _TAPS:
+            raise ValueError(f"unsupported LFSR width {width}; pick from {sorted(_TAPS)}")
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero (all-zero state is absorbing)")
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._taps = _TAPS[width]
+        self.state = seed & self._mask
+        if self.state == 0:
+            raise ValueError("seed reduces to zero state under the register mask")
+
+    def step(self) -> int:
+        """Advance one cycle and return the new register value."""
+        bit = 0
+        for tap in self._taps:
+            bit ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | bit) & self._mask
+        return self.state
+
+    def next_bits(self, nbits: int) -> int:
+        """Return ``nbits`` of pseudo-random output (MSB first)."""
+        if not 0 < nbits <= self.width:
+            raise ValueError(f"nbits must be in [1, {self.width}]")
+        self.step()
+        return self.state >> (self.width - nbits)
+
+    def uniform(self) -> float:
+        """Return a pseudo-random float in [0, 1) from one register step."""
+        self.step()
+        return self.state / (1 << self.width)
+
+    def sequence(self, n: int, nbits: int) -> np.ndarray:
+        """Return an array of ``n`` successive ``nbits``-wide outputs."""
+        return np.array([self.next_bits(nbits) for _ in range(n)], dtype=np.int64)
+
+    def period_lower_bound(self, limit: int = 1 << 20) -> int:
+        """Walk the register until the start state recurs (or ``limit``).
+
+        Used by tests to check the polynomial is maximal-length for small
+        widths.  Does not mutate ``self``.
+        """
+        probe = Lfsr(self.width, self.state)
+        start = probe.state
+        for count in range(1, limit + 1):
+            if probe.step() == start:
+                return count
+        return limit

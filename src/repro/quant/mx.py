@@ -1,0 +1,142 @@
+"""MX8 block floating point — the paper's Pareto-optimal state format.
+
+Pimba's MX8 variant (Section 3.2): groups of 16 values share an 8-bit
+exponent, each adjacent *pair* of values shares a 1-bit microexponent, and
+every element stores a sign and a 6-bit mantissa.  Storage cost is exactly
+
+    (16 * (1 + 6) + 8 + 8) / 16 = 8 bits per value.
+
+An element decodes as::
+
+    value_i = mant_i * 2 ** (E - u_pair(i) - MANTISSA_BITS)
+
+with ``mant_i`` a signed integer, ``|mant_i| <= 63``.  The shared exponent
+``E`` is chosen so the largest group element has mantissa magnitude in
+(32, 64]; a pair whose own maximum is at least one octave below the group
+maximum sets its microexponent to 1, recovering one bit of precision.
+
+Two views are provided:
+
+* :class:`Mx8Format` — vectorized value-semantics storage quantizer used by
+  the accuracy harness (Figs. 4/6, Table 2).
+* :class:`MxBlock` — an explicit (exponent, microexponents, mantissas)
+  container consumed by the bit-faithful SPE datapath in
+  ``repro.quant.arithmetic`` and ``repro.core.spe``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.quant.formats import StorageFormat, pad_to_group
+from repro.quant.rounding import RoundingMode, round_lattice
+
+#: elements per shared-exponent group
+GROUP_SIZE = 16
+#: elements per shared-microexponent sub-group
+PAIR_SIZE = 2
+#: explicit (no hidden bit) mantissa width
+MANTISSA_BITS = 6
+#: max mantissa magnitude
+MANTISSA_MAX = (1 << MANTISSA_BITS) - 1
+#: shared exponent field width / bias (stored biased like IEEE)
+EXPONENT_BITS = 8
+EXPONENT_BIAS = 127
+EXPONENT_MIN = -EXPONENT_BIAS
+EXPONENT_MAX = (1 << EXPONENT_BITS) - 1 - EXPONENT_BIAS
+
+
+def _group_exponent(amax: np.ndarray) -> np.ndarray:
+    """Shared exponent: smallest E with ``amax / 2**E <= 1`` (amax>0)."""
+    with np.errstate(divide="ignore"):
+        e = np.floor(np.log2(np.where(amax > 0, amax, 1.0))) + 1.0
+    return np.clip(e, EXPONENT_MIN, EXPONENT_MAX)
+
+
+class Mx8Format(StorageFormat):
+    """Vectorized MX8 storage quantizer (value semantics)."""
+
+    def __init__(self, rounding: RoundingMode = RoundingMode.NEAREST):
+        self.rounding = rounding
+        self.name = "mx8SR" if rounding is RoundingMode.STOCHASTIC else "mx8"
+        self.bits_per_value = (
+            GROUP_SIZE * (1 + MANTISSA_BITS) + EXPONENT_BITS
+            + GROUP_SIZE // PAIR_SIZE
+        ) / GROUP_SIZE
+
+    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        padded, n = pad_to_group(x, GROUP_SIZE)
+        grouped = padded.reshape(*padded.shape[:-1], -1, GROUP_SIZE)
+
+        amax = np.max(np.abs(grouped), axis=-1, keepdims=True)
+        exp = _group_exponent(amax)
+
+        pairs = grouped.reshape(*grouped.shape[:-1], GROUP_SIZE // PAIR_SIZE, PAIR_SIZE)
+        pmax = np.max(np.abs(pairs), axis=-1, keepdims=True)
+        pexp = _group_exponent(pmax)
+        micro = np.clip(exp[..., None] - pexp, 0, 1)
+
+        scale = np.exp2(exp[..., None] - micro - MANTISSA_BITS)
+        mant = round_lattice(pairs / scale, self.rounding, rng)
+        mant = np.clip(mant, -MANTISSA_MAX, MANTISSA_MAX)
+        out = (mant * scale).reshape(padded.shape)
+        return out[..., :n] if n != padded.shape[-1] else out
+
+
+@dataclasses.dataclass
+class MxBlock:
+    """One 16-element MX8 group in explicit hardware fields.
+
+    Attributes:
+        exp: shared (unbiased) exponent, scalar int.
+        micro: per-pair microexponents, shape ``(8,)``, values in {0, 1}.
+        mant: signed integer mantissas, shape ``(16,)``, ``|mant| <= 63``.
+    """
+
+    exp: int
+    micro: np.ndarray
+    mant: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.micro = np.asarray(self.micro, dtype=np.int64)
+        self.mant = np.asarray(self.mant, dtype=np.int64)
+        if self.micro.shape != (GROUP_SIZE // PAIR_SIZE,):
+            raise ValueError("micro must have shape (8,)")
+        if self.mant.shape != (GROUP_SIZE,):
+            raise ValueError("mant must have shape (16,)")
+        if np.any((self.micro < 0) | (self.micro > 1)):
+            raise ValueError("microexponents must be 0 or 1")
+        if np.any(np.abs(self.mant) > MANTISSA_MAX):
+            raise ValueError(f"mantissa magnitude exceeds {MANTISSA_MAX}")
+
+    @property
+    def element_micro(self) -> np.ndarray:
+        """Microexponent broadcast to all 16 elements."""
+        return np.repeat(self.micro, PAIR_SIZE)
+
+    def decode(self) -> np.ndarray:
+        """Return the 16 represented values as float64."""
+        return self.mant * np.exp2(self.exp - self.element_micro - MANTISSA_BITS)
+
+    @classmethod
+    def encode(
+        cls,
+        values: np.ndarray,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        rng: np.random.Generator | None = None,
+    ) -> "MxBlock":
+        """Quantize 16 float values into an explicit block."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (GROUP_SIZE,):
+            raise ValueError(f"expected {GROUP_SIZE} values, got shape {values.shape}")
+        exp = int(_group_exponent(np.max(np.abs(values))))
+        pairs = values.reshape(-1, PAIR_SIZE)
+        pexp = _group_exponent(np.max(np.abs(pairs), axis=-1))
+        micro = np.clip(exp - pexp, 0, 1).astype(np.int64)
+        scale = np.exp2(exp - np.repeat(micro, PAIR_SIZE) - MANTISSA_BITS)
+        mant = round_lattice(values / scale, rounding, rng)
+        mant = np.clip(mant, -MANTISSA_MAX, MANTISSA_MAX).astype(np.int64)
+        return cls(exp=exp, micro=micro, mant=mant)

@@ -1,0 +1,52 @@
+"""Registry of the nine storage formats swept in Figs. 4 and 6."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.quant.floatpoint import e4m3, e5m2
+from repro.quant.formats import Float16Format, Float32Format, StorageFormat
+from repro.quant.integer import Int8GroupFormat
+from repro.quant.mx import Mx8Format
+from repro.quant.rounding import RoundingMode
+
+_N = RoundingMode.NEAREST
+_S = RoundingMode.STOCHASTIC
+
+_FACTORIES: dict[str, Callable[[], StorageFormat]] = {
+    "fp32": Float32Format,
+    "fp16": Float16Format,
+    "int8": lambda: Int8GroupFormat(rounding=_N),
+    "int8SR": lambda: Int8GroupFormat(rounding=_S),
+    "e4m3": lambda: e4m3(rounding=_N),
+    "e4m3SR": lambda: e4m3(rounding=_S),
+    "e5m2": lambda: e5m2(rounding=_N),
+    "e5m2SR": lambda: e5m2(rounding=_S),
+    "mx8": lambda: Mx8Format(rounding=_N),
+    "mx8SR": lambda: Mx8Format(rounding=_S),
+}
+
+#: the formats compared in Fig. 4 (in plotting order)
+FIG4_FORMATS = (
+    "fp16", "int8", "int8SR", "e4m3", "e4m3SR", "e5m2", "e5m2SR", "mx8", "mx8SR",
+)
+
+
+def available_formats() -> tuple[str, ...]:
+    """Names of every registered storage format."""
+    return tuple(_FACTORIES)
+
+
+def get_format(name: str) -> StorageFormat:
+    """Instantiate a storage format by registry name.
+
+    Raises:
+        KeyError: for unknown names, listing the valid choices.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        ) from None
+    return factory()

@@ -1,0 +1,61 @@
+"""Rounding primitives shared by every quantized format.
+
+The paper (Section 3.2) contrasts *round-to-nearest-even* with *stochastic
+rounding* (SR).  SR rounds a real value to one of its two neighbouring grid
+points with probability proportional to proximity, which preserves small
+increments in expectation during the continuous state-update accumulation of
+SU-LLMs (the "swamping" mitigation of Fig. 4).
+
+All helpers operate on values already scaled into *grid units*: the caller
+divides by the quantization step so that representable points sit on the
+integer lattice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class RoundingMode(enum.Enum):
+    """How real values are mapped onto the quantization lattice."""
+
+    NEAREST = "nearest"
+    STOCHASTIC = "stochastic"
+
+
+def round_nearest_even(x: np.ndarray) -> np.ndarray:
+    """Round to nearest integer, ties to even (IEEE default).
+
+    ``numpy.rint`` implements exactly this tie-breaking rule.
+    """
+    return np.rint(x)
+
+
+def round_stochastic(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Round each element up or down with probability equal to its fraction.
+
+    ``E[round_stochastic(x)] == x`` which is what lets tiny state-update
+    increments survive accumulation into a large-magnitude state.
+    """
+    floor = np.floor(x)
+    frac = x - floor
+    return floor + (rng.random(size=np.shape(x)) < frac)
+
+
+def round_lattice(
+    x: np.ndarray,
+    mode: RoundingMode,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Round ``x`` (in grid units) according to ``mode``.
+
+    Raises:
+        ValueError: if stochastic rounding is requested without an ``rng``.
+    """
+    if mode is RoundingMode.NEAREST:
+        return round_nearest_even(x)
+    if rng is None:
+        raise ValueError("stochastic rounding requires a random generator")
+    return round_stochastic(x, rng)

@@ -1,0 +1,14 @@
+"""Serving workload generation and the batched serving loop."""
+
+from repro.workloads.requests import Batch, Request, sampled_batch, uniform_batch
+from repro.workloads.serving import ServingResult, ServingSimulator, generate_tokens
+
+__all__ = [
+    "Batch",
+    "Request",
+    "sampled_batch",
+    "uniform_batch",
+    "ServingResult",
+    "ServingSimulator",
+    "generate_tokens",
+]

@@ -1,0 +1,80 @@
+"""Serving request traces (the workload generator behind Figs. 12-16).
+
+The paper evaluates fixed-shape batches — (input, output) = (2048, 2048)
+for throughput, (1024, 1024) for the NeuPIMs study — but the generator
+also produces randomized traces for stress tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One user request in a serving batch."""
+
+    request_id: int
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if self.input_len < 1 or self.output_len < 1:
+            raise ValueError("request lengths must be positive")
+
+    @property
+    def total_len(self) -> int:
+        return self.input_len + self.output_len
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """A batch of requests served together (static batching, as evaluated)."""
+
+    requests: tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("batch must contain at least one request")
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def max_input_len(self) -> int:
+        return max(r.input_len for r in self.requests)
+
+    @property
+    def max_output_len(self) -> int:
+        return max(r.output_len for r in self.requests)
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(r.output_len for r in self.requests)
+
+
+def uniform_batch(batch_size: int, input_len: int = 2048, output_len: int = 2048) -> Batch:
+    """The paper's fixed-shape batch."""
+    return Batch(tuple(
+        Request(i, input_len, output_len) for i in range(batch_size)
+    ))
+
+
+def sampled_batch(
+    batch_size: int,
+    rng: np.random.Generator,
+    mean_input: int = 1024,
+    mean_output: int = 512,
+) -> Batch:
+    """A lognormal-ish trace for robustness tests."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    inputs = np.maximum(1, rng.poisson(mean_input, size=batch_size))
+    outputs = np.maximum(1, rng.poisson(mean_output, size=batch_size))
+    return Batch(tuple(
+        Request(i, int(inp), int(out))
+        for i, (inp, out) in enumerate(zip(inputs, outputs))
+    ))

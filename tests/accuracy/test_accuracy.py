@@ -1,0 +1,123 @@
+"""Tests for the accuracy harness: swamping, SR rescue, task proxies."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.perplexity import evaluate_perplexity, quantization_sweep
+from repro.accuracy.synthetic_lm import SyntheticLm, log_softmax
+from repro.accuracy.tasks import (
+    TABLE2_TASKS,
+    TaskSpec,
+    build_items,
+    sequence_logprob,
+    task_accuracy,
+)
+from repro.models import Family
+
+
+@pytest.fixture(scope="module")
+def gla_lm():
+    return SyntheticLm(Family.GLA)
+
+
+@pytest.fixture(scope="module")
+def gla_tokens(gla_lm):
+    return gla_lm.sample_stream(2, 256, np.random.default_rng(0))
+
+
+class TestSyntheticLm:
+    def test_teacher_and_student_share_weights(self, gla_lm):
+        student = gla_lm.build_student("mx8")
+        np.testing.assert_array_equal(
+            gla_lm.teacher.params["embedding"], student.params["embedding"]
+        )
+
+    def test_stream_shape_and_vocab(self, gla_lm, gla_tokens):
+        assert gla_tokens.shape == (2, 257)
+        assert gla_tokens.max() < gla_lm.spec.vocab_size
+
+    def test_stream_reproducible(self, gla_lm):
+        a = gla_lm.sample_stream(1, 32, np.random.default_rng(5))
+        b = gla_lm.sample_stream(1, 32, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_stream_args(self, gla_lm):
+        with pytest.raises(ValueError):
+            gla_lm.sample_stream(0, 10, np.random.default_rng(0))
+
+    def test_log_softmax_normalized(self):
+        lp = log_softmax(np.random.default_rng(0).normal(size=(3, 7)) * 10)
+        np.testing.assert_allclose(np.exp(lp).sum(axis=-1), 1.0)
+
+
+class TestPerplexity:
+    def test_teacher_beats_uniform(self, gla_lm, gla_tokens):
+        ppl = evaluate_perplexity(gla_lm.teacher, gla_tokens, skip=64)
+        assert ppl < gla_lm.spec.vocab_size * 0.6
+
+    def test_fig4_ordering_on_gla(self):
+        """The Fig. 4 core: fp16 ~ int8 ~ mx8 << e5m2; SR rescues fp8."""
+        results = quantization_sweep(
+            Family.GLA,
+            ("fp16", "int8", "e5m2", "e5m2SR", "mx8", "mx8SR"),
+            batch=2, seq_len=320,
+        )
+        base = results["fp64"]
+        assert results["fp16"] == pytest.approx(base, rel=0.02)
+        assert results["int8"] < base * 1.05
+        assert results["mx8"] < base * 1.05
+        assert results["mx8SR"] < base * 1.05
+        assert results["e5m2"] > base * 1.2          # swamping blow-up
+        assert results["e5m2SR"] < results["e5m2"]   # stochastic rescue
+
+    def test_transformer_immune_to_fp8_kv(self):
+        """KV caches quantize once per token: no accumulation, no damage."""
+        results = quantization_sweep(
+            Family.TRANSFORMER, ("e5m2", "mx8"), batch=2, seq_len=192,
+        )
+        assert results["e5m2"] == pytest.approx(results["fp64"], rel=0.02)
+        assert results["mx8"] == pytest.approx(results["fp64"], rel=0.02)
+
+    def test_short_sequence_rejected(self, gla_lm):
+        with pytest.raises(ValueError):
+            evaluate_perplexity(gla_lm.teacher, np.zeros((1, 10), dtype=int))
+
+
+class TestTasks:
+    @pytest.fixture(scope="class")
+    def items(self, gla_lm):
+        task = TaskSpec("probe", n_choices=2, context_len=48, continuation_len=10)
+        return build_items(gla_lm, task, 16, np.random.default_rng(3))
+
+    def test_teacher_accuracy_above_chance(self, gla_lm, items):
+        acc = task_accuracy(gla_lm.teacher, items, gla_lm.temperature)
+        assert acc > 0.75
+
+    def test_mx8sr_matches_teacher_within_noise(self, gla_lm, items):
+        """Table 2: Pimba within a few points of the GPU baseline."""
+        teacher = task_accuracy(gla_lm.teacher, items, gla_lm.temperature)
+        pimba = task_accuracy(gla_lm.build_student("mx8SR"), items, gla_lm.temperature)
+        assert abs(pimba - teacher) <= 0.13
+
+    def test_answer_slots_uniformish(self, gla_lm):
+        task = TaskSpec("probe4", n_choices=4, context_len=24, continuation_len=4)
+        items = build_items(gla_lm, task, 40, np.random.default_rng(4))
+        answers = [it.answer for it in items]
+        assert set(answers) == {0, 1, 2, 3}
+
+    def test_sequence_logprob_is_negative(self, gla_lm, items):
+        lp = sequence_logprob(
+            gla_lm.teacher, items[0].context, items[0].choices[0], gla_lm.temperature
+        )
+        assert lp < 0
+
+    def test_table2_task_definitions(self):
+        names = {t.name for t in TABLE2_TASKS}
+        assert names == {"Piqa", "Lambada", "HellaSwag", "ARC-E", "ARC-C", "WinoGrande"}
+        with pytest.raises(ValueError):
+            TaskSpec("bad", n_choices=1, context_len=8, continuation_len=2)
+
+    def test_zero_items_rejected(self, gla_lm):
+        task = TaskSpec("probe", 2, 8, 2)
+        with pytest.raises(ValueError):
+            build_items(gla_lm, task, 0, np.random.default_rng(0))

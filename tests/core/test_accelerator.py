@@ -1,0 +1,105 @@
+"""Tests for the top-level PimbaAccelerator device object."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import PimbaAccelerator
+from repro.core.config import hbm_pim_config, pimba_config
+from repro.core.spe import StateUpdateEngine, reference_state_update
+from repro.quant.mx import MANTISSA_BITS
+
+
+@pytest.fixture
+def device():
+    return PimbaAccelerator(pimba_config(state_format="mx8"))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestFunctional:
+    def test_state_update_matches_reference_shape(self, device, rng):
+        batch, heads, dh, ds = 2, 3, 32, 16
+        state = rng.normal(size=(batch, heads, dh, ds))
+        d = rng.uniform(0.9, 1.0, size=(batch, heads, dh))
+        k = rng.normal(size=(batch, heads, dh))
+        v = rng.normal(size=(batch, heads, ds))
+        q = rng.normal(size=(batch, heads, dh))
+        new_state, y = device.state_update(state, d, k, v, q)
+        assert new_state.shape == state.shape
+        assert y.shape == (batch, heads, ds)
+
+    def test_state_update_close_to_float_reference(self, device, rng):
+        dh, ds = 64, 32
+        state = rng.normal(size=(dh, ds))
+        d = rng.uniform(0.9, 1.0, size=dh)
+        k = rng.normal(size=dh)
+        v = rng.normal(size=ds)
+        q = rng.normal(size=dh)
+        new_state, y = device.state_update(state, d, k, v, q)
+        ref_state, ref_y = reference_state_update(state, d, k, v, q)
+        rel = np.max(np.abs(new_state - ref_state)) / np.max(np.abs(ref_state))
+        assert rel < 2.0 ** (-MANTISSA_BITS + 2)
+
+    def test_storage_emulation_consistent_with_bit_exact_spe(self, rng):
+        """The vectorized storage-quantization path tracks the block-exact
+        SPE within the datapath's truncation error budget."""
+        device = PimbaAccelerator(pimba_config(state_format="mx8"))
+        engine = StateUpdateEngine()
+        dh, ds = 32, 8
+        state = device.store_state(rng.normal(size=(dh, ds)))
+        d = rng.uniform(0.9, 1.0, size=dh)
+        k = rng.normal(size=dh)
+        v = rng.normal(size=ds)
+        q = rng.normal(size=dh)
+        vec_state, _ = device.state_update(state, d, k, v, q)
+        spe_state, _ = engine.update_head(state, d, k, v, q)
+        scale = np.max(np.abs(vec_state))
+        assert np.max(np.abs(vec_state - spe_state)) <= 8 * scale * 2.0**-MANTISSA_BITS
+
+    def test_attention_is_normalized(self, device, rng):
+        q = rng.normal(size=64)
+        k_cache = rng.normal(size=(128, 64))
+        v_cache = np.ones((128, 64))
+        out = device.attention(q, k_cache, v_cache)
+        # With constant values, the weighted average is exactly one
+        # (up to value-cache quantization).
+        np.testing.assert_allclose(out, np.ones(64), atol=0.05)
+
+
+class TestTiming:
+    def test_more_heads_take_longer(self, device):
+        t1 = device.state_update_timing(1280, 64, 64)
+        t2 = device.state_update_timing(4 * 1280, 64, 64)
+        assert t2.seconds == pytest.approx(4 * t1.seconds, rel=0.01)
+
+    def test_sub_bank_count_rounds_up(self, device):
+        # 1 head still occupies one bank's sweep; all-bank lockstep.
+        t = device.state_update_timing(1, 64, 64)
+        assert t.heads_per_bank == 1
+        assert t.seconds > 0
+
+    def test_pimba_beats_hbm_pim_state_update(self):
+        pimba = PimbaAccelerator(pimba_config())
+        base = PimbaAccelerator(hbm_pim_config())
+        heads = 128 * 80  # batch 128, 80 heads
+        t_p = pimba.state_update_timing(heads, 64, 64).seconds
+        t_b = base.state_update_timing(heads, 64, 64).seconds
+        assert 8.0 < t_b / t_p < 18.0
+
+    def test_attention_timing_scales_with_seq(self, device):
+        short = device.attention_timing(1280, 64, 512).seconds
+        long = device.attention_timing(1280, 64, 4096).seconds
+        assert 6.0 < long / short < 10.0
+
+
+class TestCapacity:
+    def test_state_bytes_mx8_half_of_fp16(self):
+        mx8 = PimbaAccelerator(pimba_config(state_format="mx8"))
+        fp16 = PimbaAccelerator(hbm_pim_config())
+        assert mx8.state_bytes(100, 64, 64) * 2 == fp16.state_bytes(100, 64, 64)
+
+    def test_kv_bytes_counts_both_caches(self, device):
+        assert device.kv_bytes(1, 64, 100) == 2 * 64 * 100  # 1 byte/value

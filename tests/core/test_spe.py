@@ -1,0 +1,97 @@
+"""Tests for the functional SPE datapath (Fig. 8) against Eq. 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.spe import StateUpdateEngine, reference_state_update
+from repro.quant.mx import MANTISSA_BITS
+from repro.quant.rounding import RoundingMode
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestProcessSubchunk:
+    def test_matches_reference_within_format_precision(self, rng):
+        n = 32
+        state = rng.normal(size=n)
+        d = rng.uniform(0.8, 1.0, size=n)
+        k = rng.normal(size=n)
+        q = rng.normal(size=n)
+        v = 0.3
+        engine = StateUpdateEngine()
+        new_state, y = engine.process_subchunk(state, d, k, v, q)
+        ref_state = d * state + k * v
+        scale = np.max(np.abs(ref_state))
+        # Two multiplies + one add, each within a couple of 6-bit ulps.
+        assert np.all(np.abs(new_state - ref_state) <= 8 * scale * 2.0**-MANTISSA_BITS)
+        assert y == pytest.approx(float(new_state @ q), rel=0.05, abs=1e-6)
+
+    def test_mismatched_operands_rejected(self, rng):
+        engine = StateUpdateEngine()
+        with pytest.raises(ValueError):
+            engine.process_subchunk(np.zeros(32), np.zeros(16), np.zeros(32), 0.1, np.zeros(32))
+
+    def test_iteration_counter(self, rng):
+        engine = StateUpdateEngine()
+        engine.process_subchunk(np.ones(16), np.ones(16), np.ones(16), 0.0, np.ones(16))
+        engine.process_subchunk(np.ones(16), np.ones(16), np.ones(16), 0.0, np.ones(16))
+        assert engine.iterations == 2
+
+
+class TestUpdateHead:
+    def test_full_head_matches_reference(self, rng):
+        dim_head, dim_state = 16, 8
+        state = rng.normal(size=(dim_head, dim_state))
+        d = rng.uniform(0.9, 1.0, size=dim_head)
+        k = rng.normal(size=dim_head)
+        v = rng.normal(size=dim_state)
+        q = rng.normal(size=dim_head)
+        engine = StateUpdateEngine()
+        new_state, y = engine.update_head(state, d, k, v, q)
+        ref_state, ref_y = reference_state_update(state, d, k, v, q)
+        scale = np.max(np.abs(ref_state))
+        assert np.max(np.abs(new_state - ref_state)) <= 8 * scale * 2.0**-MANTISSA_BITS
+        np.testing.assert_allclose(y, ref_y, atol=0.3 * np.max(np.abs(ref_y)) + 1e-9)
+
+    def test_shape_validation(self, rng):
+        engine = StateUpdateEngine()
+        with pytest.raises(ValueError):
+            engine.update_head(np.zeros((8, 4)), np.zeros(7), np.zeros(8),
+                               np.zeros(4), np.zeros(8))
+        with pytest.raises(ValueError):
+            engine.update_head(np.zeros((8, 4)), np.zeros(8), np.zeros(8),
+                               np.zeros(5), np.zeros(8))
+
+    def test_stochastic_mode_runs(self, rng):
+        engine = StateUpdateEngine(rounding=RoundingMode.STOCHASTIC, lfsr_seed=3)
+        state = rng.normal(size=(16, 4))
+        new_state, y = engine.update_head(
+            state, np.full(16, 0.95), rng.normal(size=16),
+            rng.normal(size=4), rng.normal(size=16),
+        )
+        assert new_state.shape == state.shape
+        assert np.all(np.isfinite(y))
+
+
+class TestAttentionMode:
+    def test_score_matches_dot(self, rng):
+        q = rng.normal(size=32)
+        k = rng.normal(size=32)
+        engine = StateUpdateEngine()
+        score = engine.score_subchunk(q, k)
+        assert score == pytest.approx(float(q @ k), abs=0.2 * np.linalg.norm(q) * np.linalg.norm(k) / 32 + 0.15)
+
+    def test_attend_accumulates(self, rng):
+        acc = np.zeros(16)
+        v = rng.normal(size=16)
+        engine = StateUpdateEngine()
+        out = engine.attend_subchunk(acc, 0.5, v)
+        np.testing.assert_allclose(out, 0.5 * v, atol=0.05 * np.max(np.abs(v)))
+
+    def test_attend_shape_mismatch(self):
+        engine = StateUpdateEngine()
+        with pytest.raises(ValueError):
+            engine.attend_subchunk(np.zeros(8), 1.0, np.zeros(16))

@@ -1,0 +1,74 @@
+"""Tests for the SPU pipeline / access-interleaving simulator (Section 5.2)."""
+
+import pytest
+
+from repro.core.config import (
+    hbm_pim_config,
+    per_bank_pipelined_config,
+    pimba_config,
+)
+from repro.core.spu import (
+    channel_subchunk_rate,
+    simulate_per_bank_pipelined,
+    simulate_shared_spu,
+    simulate_time_multiplexed,
+)
+
+
+class TestSharedSpu:
+    def test_hazard_free_by_construction(self):
+        # BankPort.access raises on any same-cycle read+write; a clean run
+        # proves the Fig. 8 interleaving has no structural hazard.
+        run = simulate_shared_spu(n_per_bank=64)
+        assert run.subchunks == 128
+
+    def test_sustains_one_subchunk_per_cycle(self):
+        run = simulate_shared_spu(n_per_bank=512)
+        assert run.throughput_per_unit == pytest.approx(1.0, rel=0.02)
+
+    def test_even_writeback_offset_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_shared_spu(8, pipeline_stages=5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_shared_spu(-1)
+
+
+class TestPerBankPipelined:
+    def test_half_utilization(self):
+        # The single row buffer alternates read/write: one sub-chunk per
+        # two cycles per unit.
+        run = simulate_per_bank_pipelined(n_per_bank=512)
+        assert run.throughput_per_unit == pytest.approx(0.5, rel=0.02)
+
+
+class TestTimeMultiplexed:
+    def test_throughput_is_one_over_passes(self):
+        run = simulate_time_multiplexed(n_per_bank=256, banks_per_unit=1, passes=3)
+        assert run.throughput_per_unit == pytest.approx(1 / 3, rel=0.02)
+
+    def test_sharing_two_banks_halves_per_bank_rate(self):
+        one = simulate_time_multiplexed(256, banks_per_unit=1, passes=3)
+        two = simulate_time_multiplexed(256, banks_per_unit=2, passes=3)
+        # Same per-unit rate, but the unit now serves twice the data.
+        assert two.cycles == pytest.approx(2 * one.cycles, rel=0.01)
+
+
+class TestHeadlineClaim:
+    def test_pimba_matches_per_bank_pipelined_throughput_with_half_units(self):
+        """Fig. 5 / Section 5.2: half the units, same channel throughput."""
+        pimba = pimba_config()
+        per_bank = per_bank_pipelined_config()
+        rate_pimba = channel_subchunk_rate(pimba)
+        rate_per_bank = channel_subchunk_rate(per_bank)
+        assert rate_pimba == pytest.approx(rate_per_bank, rel=0.02)
+        assert pimba.units_per_channel == per_bank.units_per_channel // 2
+
+    def test_time_multiplexed_is_slower(self):
+        rate_tm = channel_subchunk_rate(hbm_pim_config())
+        rate_pimba = channel_subchunk_rate(pimba_config())
+        # In raw column accesses Pimba is `passes` times faster; the MX8
+        # format then doubles the *values* per column at the layout level,
+        # giving the ~8x raw state-update advantage of Fig. 13.
+        assert rate_pimba / rate_tm == pytest.approx(6.0, rel=0.05)

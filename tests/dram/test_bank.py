@@ -1,0 +1,111 @@
+"""Unit tests for the bank state machine and tFAW tracker."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState, FawTracker, TimingError
+from repro.dram.timing import TimingParams
+
+
+@pytest.fixture
+def timing():
+    return TimingParams()
+
+
+@pytest.fixture
+def bank(timing):
+    return Bank(timing, columns_per_row=32, index=0)
+
+
+class TestBank:
+    def test_initially_idle(self, bank):
+        assert bank.state is BankState.IDLE
+        assert bank.open_row is None
+
+    def test_activate_opens_row(self, bank):
+        bank.activate(0, row=7)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 7
+
+    def test_column_before_trcd_rejected(self, bank, timing):
+        bank.activate(0, row=0)
+        with pytest.raises(TimingError):
+            bank.read(timing.tRCD - 1, column=0)
+
+    def test_column_at_trcd_accepted(self, bank, timing):
+        bank.activate(0, row=0)
+        bank.read(timing.tRCD, column=0)
+
+    def test_back_to_back_reads_respect_tccd_l(self, bank, timing):
+        bank.activate(0, row=0)
+        t = timing.tRCD
+        bank.read(t, column=0)
+        with pytest.raises(TimingError):
+            bank.read(t + timing.tCCD_L - 1, column=1)
+
+    def test_precharge_before_tras_rejected(self, bank, timing):
+        bank.activate(0, row=0)
+        with pytest.raises(TimingError):
+            bank.precharge(timing.tRAS - 1)
+
+    def test_write_recovery_blocks_precharge(self, bank, timing):
+        bank.activate(0, row=0)
+        t = timing.tRCD
+        bank.write(t, column=0)
+        earliest = bank.earliest_precharge(t)
+        assert earliest >= t + timing.tBL + timing.tWR
+
+    def test_reactivate_after_precharge_waits_trp(self, bank, timing):
+        bank.activate(0, row=0)
+        t = timing.tRAS
+        bank.precharge(t)
+        assert bank.earliest_activate(t) == t + timing.tRP
+
+    def test_column_out_of_range_rejected(self, bank, timing):
+        bank.activate(0, row=0)
+        with pytest.raises(ValueError):
+            bank.read(timing.tRCD, column=32)
+
+    def test_activate_while_active_rejected(self, bank):
+        bank.activate(0, row=0)
+        with pytest.raises(TimingError):
+            bank.activate(100, row=1)
+
+    def test_column_while_idle_rejected(self, bank):
+        with pytest.raises(TimingError):
+            bank.read(0, column=0)
+
+    def test_stats_counted(self, bank, timing):
+        bank.activate(0, row=0)
+        bank.read(timing.tRCD, column=0)
+        bank.write(timing.tRCD + timing.tCCD_L, column=1)
+        assert bank.stats["activates"] == 1
+        assert bank.stats["reads"] == 1
+        assert bank.stats["writes"] == 1
+
+
+class TestFawTracker:
+    def test_first_four_activations_unconstrained(self, timing):
+        faw = FawTracker(timing)
+        for i in range(4):
+            assert faw.earliest(i) == i
+            faw.record(i)
+
+    def test_fifth_activation_waits_out_window(self, timing):
+        faw = FawTracker(timing)
+        for i in range(4):
+            faw.record(i)
+        assert faw.earliest(4) == 0 + timing.tFAW
+
+    def test_violation_raises(self, timing):
+        faw = FawTracker(timing)
+        for i in range(4):
+            faw.record(i)
+        with pytest.raises(TimingError):
+            faw.record(5)
+
+    def test_spread_activations_not_delayed(self, timing):
+        faw = FawTracker(timing)
+        times = [0, 40, 80, 120, 160]
+        for t in times:
+            assert faw.earliest(t) == t
+            faw.record(t)

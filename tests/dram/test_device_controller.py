@@ -1,0 +1,109 @@
+"""Integration tests: pseudo-channel device + FCFS controller."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.controller import FcfsController, Request, stream_cycles
+from repro.dram.device import PseudoChannel
+from repro.dram.timing import HbmConfig, a100_hbm
+
+
+@pytest.fixture
+def channel():
+    return PseudoChannel(a100_hbm())
+
+
+class TestPseudoChannel:
+    def test_has_sixteen_banks(self, channel):
+        assert len(channel.banks) == 16
+
+    def test_bank_group_mapping(self, channel):
+        assert channel.bank_group_of(0) == 0
+        assert channel.bank_group_of(5) == 1
+        assert channel.bank_group_of(15) == 3
+
+    def test_tccd_s_between_bank_groups(self, channel):
+        t = channel.timing
+        channel.execute(Command(0, CommandKind.ACT, bank=0, row=0))
+        channel.execute(Command(1, CommandKind.ACT, bank=4, row=0))
+        first = t.tRCD + 1
+        channel.execute(Command(first, CommandKind.RD, bank=0, column=0))
+        # Different bank group: legal after tCCD_S.
+        channel.execute(Command(first + t.tCCD_S, CommandKind.RD, bank=4, column=0))
+
+    def test_tccd_l_within_bank_group_enforced(self, channel):
+        t = channel.timing
+        channel.execute(Command(0, CommandKind.ACT, bank=0, row=0))
+        channel.execute(Command(1, CommandKind.ACT, bank=1, row=0))
+        first = t.tRCD + 1
+        channel.execute(Command(first, CommandKind.RD, bank=0, column=0))
+        from repro.dram.bank import TimingError
+        with pytest.raises(TimingError):
+            channel.execute(
+                Command(first + t.tCCD_S, CommandKind.RD, bank=1, column=0)
+            )
+
+    def test_pim_commands_rejected_here(self, channel):
+        with pytest.raises(ValueError):
+            channel.execute(Command(0, CommandKind.COMP))
+
+    def test_all_bank_command_requires_bank_minus_one(self):
+        with pytest.raises(ValueError):
+            Command(0, CommandKind.ACT4, bank=3)
+
+
+class TestFcfsController:
+    def test_sequential_reads_single_bank(self):
+        ctrl = FcfsController(a100_hbm(), refresh=False)
+        reqs = [Request(bank=0, row=0, column=c) for c in range(8)]
+        done = ctrl.run(reqs)
+        t = ctrl.config.timing
+        # One ACT + 8 reads separated by tCCD_L.
+        assert done >= t.tRCD + 7 * t.tCCD_L
+        assert ctrl.channel.banks[0].stats["reads"] == 8
+
+    def test_row_conflict_inserts_precharge(self):
+        ctrl = FcfsController(a100_hbm(), refresh=False)
+        ctrl.run([Request(0, 0, 0), Request(0, 1, 0)])
+        assert ctrl.channel.banks[0].stats["precharges"] == 1
+        assert ctrl.channel.banks[0].stats["activates"] == 2
+
+    def test_bank_interleaved_reads_hit_bus_rate(self):
+        # Streaming across bank groups should approach one column per tBL.
+        ctrl = FcfsController(a100_hbm(), refresh=False)
+        reqs = [
+            Request(bank=(i * 4 + i // 16) % 16, row=0, column=(i // 16) % 32)
+            for i in range(64)
+        ]
+        done = ctrl.run(reqs)
+        busy = 64 * ctrl.config.timing.tBL
+        assert busy <= done <= 4 * busy
+
+    def test_refresh_inserted_on_long_streams(self):
+        cfg = a100_hbm()
+        ctrl = FcfsController(cfg, refresh=True)
+        reqs = [
+            Request(bank=i % 16, row=(i // 512) % 4, column=(i // 16) % 32)
+            for i in range(3000)
+        ]
+        done = ctrl.run(reqs)
+        refs = [c for c in ctrl.issued if c.kind is CommandKind.REF]
+        assert len(refs) >= 1
+        assert done > cfg.timing.tREFI
+
+    def test_writes_tracked(self):
+        ctrl = FcfsController(a100_hbm(), refresh=False)
+        ctrl.run([Request(0, 0, c, is_write=True) for c in range(4)])
+        assert ctrl.channel.banks[0].stats["writes"] == 4
+
+
+class TestStreamCycles:
+    def test_matches_bus_rate(self):
+        cfg = a100_hbm()
+        n_bytes = 1 << 20
+        cycles = stream_cycles(cfg, n_bytes)
+        ideal = n_bytes / cfg.organization.column_bytes * cfg.timing.tBL
+        assert ideal <= cycles <= ideal * 1.2
+
+    def test_zero_bytes(self):
+        assert stream_cycles(a100_hbm(), 0) == 0

@@ -1,0 +1,61 @@
+"""Unit tests for HBM timing parameters and derived bandwidths."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import HbmConfig, HbmOrganization, TimingParams, a100_hbm, h100_hbm
+
+
+class TestTimingParams:
+    def test_table1_defaults(self):
+        t = TimingParams()
+        assert (t.tRP, t.tRAS, t.tCCD_S, t.tCCD_L) == (14, 34, 2, 4)
+        assert (t.tWR, t.tRTP_S, t.tRTP_L) == (16, 4, 6)
+        assert (t.tREFI, t.tFAW) == (3900, 30)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRP=0)
+
+    def test_refresh_overhead_fraction(self):
+        t = TimingParams()
+        assert 0.05 < t.refresh_overhead < 0.15
+
+
+class TestOrganization:
+    def test_sixteen_banks_per_pseudo_channel(self):
+        org = HbmOrganization()
+        assert org.banks == 16
+
+    def test_columns_per_row(self):
+        org = HbmOrganization()
+        assert org.columns_per_row == 32
+
+
+class TestHbmConfig:
+    def test_a100_pim_frequency_matches_table1(self):
+        cfg = a100_hbm()
+        assert cfg.pim_frequency_hz == pytest.approx(378e6, rel=0.01)
+
+    def test_h100_pim_frequency_matches_paper(self):
+        cfg = h100_hbm()
+        assert cfg.pim_frequency_hz == pytest.approx(657e6, rel=0.01)
+
+    def test_a100_device_bandwidth_near_2tb(self):
+        cfg = a100_hbm()
+        assert cfg.device_bandwidth_bytes == pytest.approx(1.94e12, rel=0.02)
+
+    def test_h100_device_bandwidth_near_3_35tb(self):
+        cfg = h100_hbm()
+        assert cfg.device_bandwidth_bytes == pytest.approx(3.36e12, rel=0.02)
+
+    def test_internal_bandwidth_is_8x_channel(self):
+        cfg = a100_hbm()
+        ratio = cfg.internal_bandwidth_bytes / cfg.device_bandwidth_bytes
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_configs_are_frozen(self):
+        cfg = a100_hbm()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.bus_frequency_hz = 1.0

@@ -1,0 +1,133 @@
+"""Tests for the gate-level area/power model against Table 3 and Fig. 5/6."""
+
+import pytest
+
+from repro.core.config import (
+    hbm_pim_config,
+    per_bank_pipelined_config,
+    pimba_config,
+)
+from repro.hw.area import (
+    area_overhead_percent,
+    format_overhead_percent,
+    pipelined_unit_gates,
+    time_multiplexed_unit_gates,
+    unit_area,
+)
+from repro.hw.gates import (
+    GateLibrary,
+    adder_gates,
+    adder_tree_gates,
+    multiplier_gates,
+    shifter_gates,
+)
+from repro.hw.power import unit_power
+from repro.hw.units import base_format, lane_costs
+
+
+class TestPrimitives:
+    def test_adder_scales_linearly(self):
+        assert adder_gates(16) == 2 * adder_gates(8)
+
+    def test_multiplier_scales_with_product(self):
+        assert multiplier_gates(8, 8) == 2 * multiplier_gates(4, 8)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            adder_gates(0)
+        with pytest.raises(ValueError):
+            multiplier_gates(0, 4)
+
+    def test_zero_shift_is_free(self):
+        assert shifter_gates(8, 0) == 0.0
+
+    def test_adder_tree_counts(self):
+        # 4 lanes: 2 + 1 adders with growing width.
+        assert adder_tree_gates(4, 8) == 2 * adder_gates(8) + adder_gates(9)
+
+    def test_base_format_strips_sr(self):
+        assert base_format("mx8SR") == "mx8"
+        assert base_format("fp16") == "fp16"
+
+
+class TestTable3:
+    """Absolute area/power of the Pimba SPU vs. the HBM-PIM unit."""
+
+    def test_pimba_unit_area_matches_table3(self):
+        ua = unit_area(pimba_config())
+        assert ua.compute_mm2 == pytest.approx(0.053, rel=0.10)
+        assert ua.total_mm2 == pytest.approx(0.092, rel=0.10)
+
+    def test_hbm_pim_unit_area_matches_table3(self):
+        ua = unit_area(hbm_pim_config())
+        assert ua.compute_mm2 == pytest.approx(0.042, rel=0.10)
+        assert ua.total_mm2 == pytest.approx(0.081, rel=0.10)
+
+    def test_overheads_below_25_percent_budget(self):
+        assert area_overhead_percent(pimba_config()) == pytest.approx(13.4, abs=1.5)
+        assert area_overhead_percent(hbm_pim_config()) == pytest.approx(11.8, abs=1.5)
+
+    def test_pimba_slightly_larger_than_hbm_pim(self):
+        delta = (
+            area_overhead_percent(pimba_config())
+            - area_overhead_percent(hbm_pim_config())
+        )
+        assert 0.5 < delta < 3.0  # paper: ~1.5%
+
+    def test_power_matches_table3(self):
+        assert unit_power(pimba_config()).milliwatts == pytest.approx(8.29, rel=0.15)
+        assert unit_power(hbm_pim_config()).milliwatts == pytest.approx(6.03, rel=0.15)
+
+
+class TestFig5Designs:
+    def test_per_bank_pipelined_exceeds_budget(self):
+        overhead = area_overhead_percent(per_bank_pipelined_config())
+        assert overhead > 25.0  # paper: 32.4%, above the practical limit
+
+    def test_time_multiplexed_per_bank_modest(self):
+        overhead = area_overhead_percent(hbm_pim_config(time_mux_sharing=1))
+        assert 15.0 < overhead < 25.0  # paper: 17.8%
+
+    def test_pimba_cheaper_than_per_bank_pipelined(self):
+        assert area_overhead_percent(pimba_config()) < 0.5 * area_overhead_percent(
+            per_bank_pipelined_config()
+        )
+
+
+class TestFig6Formats:
+    def test_fp16_most_expensive(self):
+        fp16 = format_overhead_percent("fp16")
+        for fmt in ("int8", "e4m3", "e5m2", "mx8"):
+            assert fp16 > format_overhead_percent(fmt)
+
+    def test_int8_costs_more_than_mx8(self):
+        # Section 4.2: dequant/requant logic makes scaled-int8 addition
+        # expensive; MX adds with plain shifts.
+        assert format_overhead_percent("int8") > 1.3 * format_overhead_percent("mx8")
+
+    def test_stochastic_rounding_is_cheap(self):
+        for fmt in ("mx8", "int8", "e5m2"):
+            delta = format_overhead_percent(fmt + "SR") - format_overhead_percent(fmt)
+            assert 0.0 < delta < 1.0  # paper: LFSR + adder is marginal
+
+    def test_mx8_close_to_fp8(self):
+        ratio = format_overhead_percent("mx8") / format_overhead_percent("e5m2")
+        assert 0.8 < ratio < 1.25
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            lane_costs("fp4")
+
+
+class TestConsistency:
+    def test_time_mux_unit_smaller_than_pipelined(self):
+        assert time_multiplexed_unit_gates("fp16") < pipelined_unit_gates("fp16")
+
+    def test_library_area_monotone_in_gates(self):
+        lib = GateLibrary()
+        assert lib.area_mm2(2000) == pytest.approx(2 * lib.area_mm2(1000))
+
+    def test_memory_process_penalty_applied(self):
+        dense = GateLibrary(memory_process_penalty=1.0)
+        dram = GateLibrary(memory_process_penalty=10.0)
+        assert dram.um2_per_gate == pytest.approx(10 * dense.um2_per_gate)

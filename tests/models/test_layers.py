@@ -1,0 +1,112 @@
+"""Unit tests for the shared neural layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import (
+    CausalConvState,
+    attention_step,
+    rms_norm,
+    sigmoid,
+    silu,
+    softmax,
+    softplus,
+    swiglu_ffn,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestActivations:
+    def test_sigmoid_stable_at_extremes(self):
+        out = sigmoid(np.array([-1e4, 0.0, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_softplus_matches_naive_in_safe_range(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(softplus(x), np.log1p(np.exp(x)))
+
+    def test_softplus_linear_for_large_x(self):
+        assert softplus(np.array([500.0]))[0] == pytest.approx(500.0)
+
+    def test_silu_zero_at_zero(self):
+        assert silu(np.zeros(3)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_softmax_normalizes_any_axis(self, rng):
+        x = rng.normal(size=(4, 5)) * 50
+        np.testing.assert_allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+        np.testing.assert_allclose(softmax(x, axis=1).sum(axis=1), 1.0)
+
+
+class TestRmsNorm:
+    def test_unit_rms_output(self, rng):
+        x = rng.normal(size=(8, 64)) * 7
+        out = rms_norm(x, np.ones(64))
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_weight_scales(self, rng):
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(
+            rms_norm(x, 2 * np.ones(16)), 2 * rms_norm(x, np.ones(16))
+        )
+
+
+class TestCausalConv:
+    def test_single_tap_is_identity_scale(self):
+        state = CausalConvState(batch=2, channels=3, width=1)
+        kernel = np.full((1, 3), 2.0)
+        out = state.step(np.ones((2, 3)), kernel)
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_window_slides(self):
+        state = CausalConvState(batch=1, channels=1, width=3)
+        kernel = np.array([[1.0], [1.0], [1.0]])  # running sum of last 3
+        seq = [1.0, 2.0, 3.0, 4.0]
+        outs = [state.step(np.array([[v]]), kernel)[0, 0] for v in seq]
+        assert outs == [1.0, 3.0, 6.0, 9.0]
+
+    def test_matches_full_convolution(self, rng):
+        width, channels, steps = 4, 5, 10
+        state = CausalConvState(1, channels, width)
+        kernel = rng.normal(size=(width, channels))
+        xs = rng.normal(size=(steps, channels))
+        outs = np.stack([state.step(x[None], kernel)[0] for x in xs])
+        padded = np.concatenate([np.zeros((width - 1, channels)), xs])
+        for t in range(steps):
+            expected = np.einsum("wc,wc->c", padded[t:t + width], kernel)
+            np.testing.assert_allclose(outs[t], expected)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CausalConvState(1, 1, 0)
+
+    def test_shape_mismatch(self):
+        state = CausalConvState(2, 3, 2)
+        with pytest.raises(ValueError):
+            state.step(np.ones((2, 4)), np.ones((2, 4)))
+
+
+class TestAttentionAndFfn:
+    def test_attention_weights_sum_to_one(self, rng):
+        q = rng.normal(size=(2, 3, 8))
+        k = rng.normal(size=(2, 3, 5, 8))
+        v = np.ones((2, 3, 5, 8))
+        out = attention_step(q, k, v)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_attention_single_position_returns_value(self, rng):
+        q = rng.normal(size=(1, 1, 4))
+        k = rng.normal(size=(1, 1, 1, 4))
+        v = rng.normal(size=(1, 1, 1, 4))
+        np.testing.assert_allclose(attention_step(q, k, v)[0, 0], v[0, 0, 0])
+
+    def test_swiglu_zero_gate_is_zero(self, rng):
+        x = rng.normal(size=(2, 8))
+        w_zero = np.zeros((8, 16))
+        w_up = rng.normal(size=(8, 16))
+        w_down = rng.normal(size=(16, 8))
+        np.testing.assert_allclose(swiglu_ffn(x, w_zero, w_up, w_down), 0.0)

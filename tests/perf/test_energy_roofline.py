@@ -1,0 +1,109 @@
+"""Focused tests for the energy model internals and roofline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models import spec_for
+from repro.perf.energy import CATEGORIES, EnergyModel
+from repro.perf.gpu import GpuModel, a100
+from repro.perf.operators import OpCost, OpKind, arithmetic_intensity, ops_by_kind
+from repro.perf.roofline import roofline_points
+from repro.perf.system import SystemKind, build_system
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        spec = spec_for("Zamba2", "large")
+        return {
+            kind: EnergyModel(build_system(kind, "large")).step_energy(spec, 64, 2048)
+            for kind in (SystemKind.GPU, SystemKind.PIMBA)
+        }
+
+    def test_all_categories_present(self, breakdowns):
+        for bd in breakdowns.values():
+            assert set(bd.joules_by_category) == set(CATEGORIES)
+
+    def test_gemm_energy_identical_across_systems(self, breakdowns):
+        gpu = breakdowns[SystemKind.GPU].joules_by_category["GEMM"]
+        pimba = breakdowns[SystemKind.PIMBA].joules_by_category["GEMM"]
+        assert pimba == pytest.approx(gpu, rel=0.01)
+
+    def test_pimba_state_io_much_lower(self, breakdowns):
+        gpu = breakdowns[SystemKind.GPU].joules_by_category["State Update (I/O)"]
+        pimba = breakdowns[SystemKind.PIMBA].joules_by_category["State Update (I/O)"]
+        # MX8 halves array bits and the channel crossing disappears.
+        assert pimba < gpu / 4
+
+    def test_fractions_sum_to_one(self, breakdowns):
+        bd = breakdowns[SystemKind.GPU]
+        total = sum(bd.fraction(c) for c in CATEGORIES)
+        assert total == pytest.approx(1.0)
+
+    def test_custom_coefficients_scale(self):
+        spec = spec_for("RetNet", "large")
+        sys = build_system(SystemKind.GPU, "large")
+        low = EnergyModel(sys, host_pj_per_bit=0.0).step_energy(spec, 64, 2048)
+        high = EnergyModel(sys, host_pj_per_bit=10.0).step_energy(spec, 64, 2048)
+        assert high.total > low.total
+
+
+class TestRooflineHelpers:
+    def test_intensity_of_zero_bytes_is_inf(self):
+        op = OpCost(OpKind.GEMM, flops=10.0, bytes=0.0)
+        assert arithmetic_intensity(op) == float("inf")
+
+    def test_points_skip_communication(self):
+        points = roofline_points(spec_for("RetNet", "large"), 32, 1024)
+        assert OpKind.COMMUNICATION not in points
+
+    def test_attained_never_exceeds_peak(self):
+        gpu = GpuModel(a100())
+        points = roofline_points(spec_for("OPT"), 128, 2048)
+        for p in points.values():
+            assert p.attained_flops <= gpu.spec.peak_fp16_flops
+
+    def test_ops_by_kind_merges(self):
+        ops = [OpCost(OpKind.GEMM, 1, 2), OpCost(OpKind.GEMM, 3, 4, 5)]
+        merged = ops_by_kind(ops)
+        assert merged[OpKind.GEMM].flops == 4
+        assert merged[OpKind.GEMM].bytes == 6
+        assert merged[OpKind.GEMM].comm_bytes == 5
+
+    def test_op_scaled(self):
+        op = OpCost(OpKind.OTHER, 2, 4, 6).scaled(0.5)
+        assert (op.flops, op.bytes, op.comm_bytes) == (1, 2, 3)
+
+
+class TestSystemEdgeCases:
+    def test_zero_seq_len_transformer_has_no_attention(self):
+        sys = build_system(SystemKind.GPU, "small")
+        step = sys.step_latency(spec_for("OPT"), 8, 0)
+        assert OpKind.ATTENTION not in step.seconds_by_kind
+
+    def test_placements_recorded(self):
+        sys = build_system(SystemKind.PIMBA, "large")
+        step = sys.step_latency(spec_for("Zamba2", "large"), 16, 1024)
+        assert step.placements[OpKind.STATE_UPDATE] == "PIM"
+        assert step.placements[OpKind.ATTENTION] == "PIM"
+        assert step.placements[OpKind.GEMM] == "A100"
+
+    def test_neupims_offloads_only_attention(self):
+        sys = build_system(SystemKind.NEUPIMS, "large")
+        step = sys.step_latency(spec_for("Zamba2", "large"), 16, 1024)
+        assert step.placements[OpKind.ATTENTION] == "PIM"
+        assert step.placements[OpKind.STATE_UPDATE] == "A100"
+
+    def test_prefill_scales_with_input_len(self):
+        sys = build_system(SystemKind.GPU, "small")
+        spec = spec_for("Mamba-2")
+        short = sys.prefill_latency(spec, 8, 512)
+        long = sys.prefill_latency(spec, 8, 2048)
+        assert long == pytest.approx(4 * short, rel=0.01)
+
+    def test_throughput_metric_consistency(self):
+        sys = build_system(SystemKind.PIMBA, "small")
+        m = sys.generation_metrics(spec_for("GLA"), 32, 1024, 256)
+        assert m.tokens_per_second == pytest.approx(
+            32 * 256 / m.decode_seconds
+        )

@@ -1,0 +1,174 @@
+"""Integration tests: the five serving systems vs. the paper's headlines."""
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.energy import EnergyModel, step_energy_for
+from repro.perf.gpu import h100
+from repro.perf.operators import OpKind
+from repro.perf.parallelism import nvlink4
+from repro.perf.system import ServingSystem, SystemKind, build_system
+
+
+class TestFig3Breakdown:
+    def test_retnet_state_share_grows_with_batch(self):
+        """Paper: 41.9% at batch 32 -> 73.8% at batch 128."""
+        sys = build_system(SystemKind.GPU, "small")
+        spec = spec_for("RetNet")
+        share32 = sys.step_latency(spec, 32, 2048).fraction(OpKind.STATE_UPDATE)
+        share128 = sys.step_latency(spec, 128, 2048).fraction(OpKind.STATE_UPDATE)
+        assert share32 == pytest.approx(0.419, abs=0.08)
+        assert share128 == pytest.approx(0.738, abs=0.08)
+
+    def test_zamba2_attention_dominates_at_large_batch(self):
+        sys = build_system(SystemKind.GPU, "small")
+        spec = spec_for("Zamba2")
+        step = sys.step_latency(spec, 128, 3072)
+        assert step.fraction(OpKind.ATTENTION) > step.fraction(OpKind.STATE_UPDATE)
+
+
+class TestFig13Latency:
+    def test_state_update_reduction_vs_gpu(self):
+        """Paper: 14.6x lower state-update latency than GPU."""
+        spec = spec_for("RetNet", "large")
+        t = {
+            k: build_system(k, "large").step_latency(spec, 128, 3072)
+            .seconds_by_kind[OpKind.STATE_UPDATE]
+            for k in (SystemKind.GPU, SystemKind.GPU_PIM, SystemKind.PIMBA)
+        }
+        assert t[SystemKind.GPU] / t[SystemKind.PIMBA] == pytest.approx(14.6, rel=0.25)
+        assert t[SystemKind.GPU_PIM] / t[SystemKind.PIMBA] == pytest.approx(6.9, rel=0.25)
+
+    def test_attention_reduction_smaller_than_state_update(self):
+        """Paper: 6.3x/2.1x for attention — interleaving does not help
+        read-only sweeps, only MX8 does."""
+        spec = spec_for("OPT", "large")
+        t = {
+            k: build_system(k, "large").step_latency(spec, 128, 3072)
+            .seconds_by_kind[OpKind.ATTENTION]
+            for k in (SystemKind.GPU, SystemKind.GPU_PIM, SystemKind.PIMBA)
+        }
+        gpu_ratio = t[SystemKind.GPU] / t[SystemKind.PIMBA]
+        pim_ratio = t[SystemKind.GPU_PIM] / t[SystemKind.PIMBA]
+        assert 5.0 < gpu_ratio < 12.0
+        assert 1.5 < pim_ratio < 3.5
+        assert gpu_ratio < 14.6  # smaller than the state-update gain
+
+
+class TestFig12Throughput:
+    @pytest.mark.parametrize("scale", ["small", "large"])
+    def test_ordering_gpu_q_pim_pimba(self, scale):
+        spec = spec_for("Mamba-2", scale)
+        tps = {
+            k: build_system(k, scale).generation_metrics(spec, 128).tokens_per_second
+            for k in SystemKind
+            if k is not SystemKind.NEUPIMS
+        }
+        assert tps[SystemKind.PIMBA] > tps[SystemKind.GPU_PIM] > tps[SystemKind.GPU]
+        assert tps[SystemKind.GPU_Q] > tps[SystemKind.GPU]
+
+    def test_gains_grow_with_batch(self):
+        spec = spec_for("RetNet", "large")
+        gains = []
+        for batch in (32, 128):
+            base = build_system(SystemKind.GPU, "large").generation_metrics(spec, batch)
+            pimba = build_system(SystemKind.PIMBA, "large").generation_metrics(spec, batch)
+            gains.append(pimba.tokens_per_second / base.tokens_per_second)
+        assert gains[1] > gains[0]
+
+    def test_average_band_matches_paper(self):
+        """Paper: GPU+Q and GPU+PIM ~1.4x, Pimba ~1.9x on average."""
+        import numpy as np
+        ratios = {SystemKind.GPU_Q: [], SystemKind.GPU_PIM: [], SystemKind.PIMBA: []}
+        for name in ("RetNet", "Mamba-2", "Zamba2", "OPT"):
+            spec = spec_for(name, "large")
+            base = build_system(SystemKind.GPU, "large").generation_metrics(spec, 64)
+            for kind in ratios:
+                m = build_system(kind, "large").generation_metrics(spec, 64)
+                ratios[kind].append(m.tokens_per_second / base.tokens_per_second)
+        geo = {k: float(np.exp(np.mean(np.log(v)))) for k, v in ratios.items()}
+        assert 1.1 < geo[SystemKind.GPU_Q] < 1.8
+        assert 1.1 < geo[SystemKind.GPU_PIM] < 1.9
+        assert 1.5 < geo[SystemKind.PIMBA] < 3.0
+        assert geo[SystemKind.PIMBA] > geo[SystemKind.GPU_PIM]
+
+
+class TestFig15NeuPims:
+    def test_pimba_lower_latency_and_memory(self):
+        spec = spec_for("Zamba2", "large")
+        pimba = build_system(SystemKind.PIMBA, "large")
+        neupims = build_system(SystemKind.NEUPIMS, "large")
+        for out_tokens in (125, 512, 1024):
+            seq = 1024 + out_tokens
+            t_p = pimba.step_latency(spec, 128, seq).total
+            t_n = neupims.step_latency(spec, 128, seq).total
+            assert t_p < t_n
+            assert pimba.memory_usage(spec, 128, seq) < neupims.memory_usage(
+                spec, 128, seq
+            )
+
+    def test_latency_scales_with_output_tokens_for_both(self):
+        spec = spec_for("Zamba2", "large")
+        for kind in (SystemKind.PIMBA, SystemKind.NEUPIMS):
+            sys = build_system(kind, "large")
+            short = sys.step_latency(spec, 128, 1024 + 125).total
+            long = sys.step_latency(spec, 128, 1024 + 1024).total
+            assert long > short
+
+
+class TestFig16H100:
+    def test_h100_trend_matches_a100(self):
+        """Paper: 1.8x / 1.3x over GPU / GPU+PIM on H100."""
+        spec = spec_for("Mamba-2", "large")
+        kw = dict(gpu=h100(), link=nvlink4())
+        base = ServingSystem(SystemKind.GPU, n_devices=8, **kw)
+        pim = ServingSystem(SystemKind.GPU_PIM, n_devices=8, **kw)
+        pimba = ServingSystem(SystemKind.PIMBA, n_devices=8, **kw)
+        t_base = base.generation_metrics(spec, 128).tokens_per_second
+        t_pim = pim.generation_metrics(spec, 128).tokens_per_second
+        t_pimba = pimba.generation_metrics(spec, 128).tokens_per_second
+        assert 1.3 < t_pimba / t_base < 3.5
+        assert 1.1 < t_pimba / t_pim < 2.5
+
+
+class TestFig14Energy:
+    def test_pimba_saves_energy(self):
+        """Paper: 2.2x vs GPU, 1.3x vs GPU+PIM on average."""
+        spec = spec_for("Mamba-2", "large")
+        e = {k: step_energy_for(k, spec, 128, 3072).total
+             for k in (SystemKind.GPU, SystemKind.GPU_PIM, SystemKind.PIMBA)}
+        assert 1.8 < e[SystemKind.GPU] / e[SystemKind.PIMBA] < 3.5
+        assert 1.05 < e[SystemKind.GPU_PIM] / e[SystemKind.PIMBA] < 1.6
+
+    def test_state_update_io_dominates_gpu_energy_for_retnet(self):
+        spec = spec_for("RetNet", "large")
+        bd = step_energy_for(SystemKind.GPU, spec, 128, 3072)
+        assert bd.fraction("State Update (I/O)") > 0.4
+
+    def test_pim_compute_energy_is_small(self):
+        spec = spec_for("Mamba-2", "large")
+        bd = step_energy_for(SystemKind.PIMBA, spec, 128, 3072)
+        assert bd.fraction("State Update (Compute)") < 0.1
+
+    def test_breakdown_sums(self):
+        sys = build_system(SystemKind.PIMBA, "large")
+        bd = EnergyModel(sys).step_energy(spec_for("Zamba2", "large"), 64, 2048)
+        assert bd.total == pytest.approx(sum(bd.joules_by_category.values()))
+
+
+class TestMemoryUsage:
+    def test_fig1a_mamba2_uses_less_memory_than_transformer(self):
+        sys = build_system(SystemKind.GPU, "small")
+        mamba = sys.memory_usage(spec_for("Mamba-2"), 32, 4096)
+        opt = sys.memory_usage(spec_for("OPT"), 32, 4096)
+        assert opt / mamba > 1.8  # paper: 2.3x
+
+    def test_transformer_memory_grows_with_seq(self):
+        sys = build_system(SystemKind.GPU, "small")
+        spec = spec_for("OPT")
+        assert sys.memory_usage(spec, 32, 8192) > 1.5 * sys.memory_usage(spec, 32, 2048)
+
+    def test_su_llm_memory_constant_in_seq(self):
+        sys = build_system(SystemKind.GPU, "small")
+        spec = spec_for("RetNet")
+        assert sys.memory_usage(spec, 32, 8192) == sys.memory_usage(spec, 32, 128)

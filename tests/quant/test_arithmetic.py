@@ -1,0 +1,114 @@
+"""Unit tests for the hardware MX multiplier/adder/dot-product units."""
+
+import numpy as np
+import pytest
+
+from repro.quant.arithmetic import DotProductUnit, MxAdder, MxMultiplier
+from repro.quant.lfsr import Lfsr
+from repro.quant.mx import GROUP_SIZE, MANTISSA_BITS, MANTISSA_MAX, MxBlock
+
+
+def _random_block(rng, scale=1.0):
+    return MxBlock.encode(rng.normal(scale=scale, size=GROUP_SIZE))
+
+
+class TestMxMultiplier:
+    def test_matches_float_product_within_ulp(self):
+        rng = np.random.default_rng(0)
+        a, b = _random_block(rng), _random_block(rng, scale=4.0)
+        out = MxMultiplier()(a, b)
+        exact = a.decode() * b.decode()
+        ulp = 2.0 ** (out.exp - MANTISSA_BITS)
+        assert np.all(np.abs(out.decode() - exact) <= ulp)
+
+    def test_exponents_add(self):
+        rng = np.random.default_rng(1)
+        a, b = _random_block(rng), _random_block(rng)
+        out = MxMultiplier()(a, b)
+        assert out.exp == a.exp + b.exp
+
+    def test_microexponent_saturation_shifts_mantissa(self):
+        # Both operands with micro=1 on pair 0 -> sum 2 saturates to 1 and
+        # the pair's product mantissas shift by one extra bit.
+        micro = np.zeros(8, dtype=np.int64)
+        micro[0] = 1
+        mant = np.full(16, 32, dtype=np.int64)
+        a = MxBlock(exp=0, micro=micro.copy(), mant=mant.copy())
+        b = MxBlock(exp=0, micro=micro.copy(), mant=mant.copy())
+        out = MxMultiplier()(a, b)
+        assert out.micro[0] == 1
+        exact = a.decode() * b.decode()
+        ulp = 2.0 ** (out.exp - MANTISSA_BITS)
+        assert np.all(np.abs(out.decode() - exact) <= ulp)
+
+    def test_mantissa_never_overflows(self):
+        a = MxBlock(exp=3, micro=np.zeros(8), mant=np.full(16, MANTISSA_MAX))
+        out = MxMultiplier()(a, a)
+        assert np.all(np.abs(out.mant) <= MANTISSA_MAX)
+
+
+class TestMxAdder:
+    def test_matches_float_sum_within_ulp(self):
+        rng = np.random.default_rng(2)
+        a, b = _random_block(rng), _random_block(rng, scale=0.1)
+        out = MxAdder()(a, b)
+        exact = a.decode() + b.decode()
+        ulp = 2.0 ** (out.exp - MANTISSA_BITS)
+        # Each operand's alignment shift truncates up to one output ulp.
+        assert np.all(np.abs(out.decode() - exact) <= 2 * ulp)
+
+    def test_result_microexponent_is_zero(self):
+        rng = np.random.default_rng(3)
+        out = MxAdder()(_random_block(rng), _random_block(rng))
+        assert np.all(out.micro == 0)
+
+    def test_result_exponent_is_max_or_renormalized(self):
+        rng = np.random.default_rng(4)
+        a, b = _random_block(rng), _random_block(rng)
+        out = MxAdder()(a, b)
+        assert out.exp >= max(a.exp, b.exp)
+        assert out.exp <= max(a.exp, b.exp) + 1
+
+    def test_overflow_renormalizes(self):
+        mant = np.full(16, MANTISSA_MAX, dtype=np.int64)
+        a = MxBlock(exp=0, micro=np.zeros(8), mant=mant.copy())
+        out = MxAdder()(a, a)
+        assert out.exp == 1
+        assert np.all(np.abs(out.mant) <= MANTISSA_MAX)
+
+    def test_truncation_swallows_tiny_operand(self):
+        # Hardware shifter truncation: a value 2^10 smaller than the other
+        # operand's scale vanishes entirely — the swamping effect.
+        big = MxBlock(exp=5, micro=np.zeros(8), mant=np.full(16, 40))
+        small = MxBlock(exp=-5, micro=np.zeros(8), mant=np.full(16, 40))
+        out = MxAdder()(big, small)
+        np.testing.assert_array_equal(out.decode(), big.decode())
+
+    def test_lfsr_rounding_preserves_tiny_operand_in_expectation(self):
+        big = MxBlock(exp=5, micro=np.zeros(8), mant=np.full(16, 40))
+        small = MxBlock(exp=-2, micro=np.zeros(8), mant=np.full(16, 32))
+        adder = MxAdder(lfsr=Lfsr(16, seed=0xBEEF))
+        total = np.zeros(GROUP_SIZE)
+        trials = 600
+        for _ in range(trials):
+            total += adder(big, small).decode() - big.decode()
+        mean_increment = total / trials
+        expected = small.decode()
+        # Expectation within 25% of the true small addend.
+        assert np.all(np.abs(mean_increment - expected) < 0.25 * np.abs(expected))
+
+
+class TestDotProductUnit:
+    def test_accumulates_exact_dot(self):
+        rng = np.random.default_rng(5)
+        a, b = _random_block(rng), _random_block(rng)
+        unit = DotProductUnit()
+        got = unit.accumulate(a, b)
+        assert got == pytest.approx(float(a.decode() @ b.decode()))
+
+    def test_reset_clears_accumulator(self):
+        rng = np.random.default_rng(6)
+        unit = DotProductUnit()
+        unit.accumulate(_random_block(rng), _random_block(rng))
+        unit.reset()
+        assert unit.accumulator == 0.0

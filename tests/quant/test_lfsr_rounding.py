@@ -1,0 +1,71 @@
+"""Unit tests for the LFSR model and rounding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.quant.lfsr import Lfsr
+from repro.quant.rounding import (
+    RoundingMode,
+    round_lattice,
+    round_nearest_even,
+    round_stochastic,
+)
+
+
+class TestLfsr:
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            Lfsr(16, seed=0)
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValueError):
+            Lfsr(13)
+
+    def test_eight_bit_polynomial_is_maximal_length(self):
+        assert Lfsr(8, seed=1).period_lower_bound() == 255
+
+    def test_sixteen_bit_polynomial_is_maximal_length(self):
+        assert Lfsr(16, seed=1).period_lower_bound(limit=1 << 17) == 65535
+
+    def test_uniform_in_unit_interval(self):
+        lfsr = Lfsr(16, seed=0x1234)
+        draws = [lfsr.uniform() for _ in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < np.mean(draws) < 0.6
+
+    def test_next_bits_range(self):
+        lfsr = Lfsr(16, seed=7)
+        vals = lfsr.sequence(200, nbits=6)
+        assert vals.min() >= 0 and vals.max() < 64
+
+    def test_deterministic_given_seed(self):
+        a = Lfsr(16, seed=42).sequence(50, 8)
+        b = Lfsr(16, seed=42).sequence(50, 8)
+        assert np.array_equal(a, b)
+
+
+class TestRounding:
+    def test_nearest_even_ties(self):
+        x = np.array([0.5, 1.5, 2.5, -0.5])
+        assert np.array_equal(round_nearest_even(x), [0.0, 2.0, 2.0, -0.0])
+
+    def test_stochastic_mean_converges(self):
+        rng = np.random.default_rng(0)
+        x = np.full(50000, 0.3)
+        r = round_stochastic(x, rng)
+        assert set(np.unique(r)) <= {0.0, 1.0}
+        assert abs(r.mean() - 0.3) < 0.01
+
+    def test_lattice_dispatch(self):
+        x = np.array([1.4])
+        assert round_lattice(x, RoundingMode.NEAREST)[0] == 1.0
+
+    def test_lattice_stochastic_requires_rng(self):
+        with pytest.raises(ValueError):
+            round_lattice(np.array([1.4]), RoundingMode.STOCHASTIC)
+
+    def test_integers_are_fixed_points_both_modes(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(-5.0, 6.0)
+        assert np.array_equal(round_lattice(x, RoundingMode.NEAREST), x)
+        assert np.array_equal(round_lattice(x, RoundingMode.STOCHASTIC, rng), x)

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the quantization substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.arithmetic import MxAdder, MxMultiplier
+from repro.quant.mx import GROUP_SIZE, MANTISSA_BITS, MANTISSA_MAX, Mx8Format, MxBlock
+from repro.quant.registry import available_formats, get_format
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_subnormal=False
+)
+vectors = arrays(np.float64, st.integers(1, 96), elements=finite_floats)
+group_vectors = arrays(np.float64, GROUP_SIZE, elements=finite_floats)
+
+
+@given(vectors, st.sampled_from(sorted(available_formats())))
+@settings(max_examples=60, deadline=None)
+def test_quantize_idempotent_for_all_formats(x, name):
+    """Quantizing twice equals quantizing once (lattice projection)."""
+    fmt = get_format(name)
+    rng = np.random.default_rng(0)
+    q1 = fmt.quantize(x, rng=np.random.default_rng(0))
+    # Idempotence must hold regardless of the rounding stream: lattice
+    # points are fixed points of any rounding mode.
+    q2 = fmt.quantize(q1, rng=rng)
+    np.testing.assert_array_equal(q1, q2)
+
+
+@given(vectors, st.sampled_from(sorted(available_formats())))
+@settings(max_examples=60, deadline=None)
+def test_quantize_preserves_shape_sign_and_zero(x, name):
+    fmt = get_format(name)
+    q = fmt.quantize(x, rng=np.random.default_rng(1))
+    assert q.shape == x.shape
+    assert np.all(q[x == 0.0] == 0.0)
+    assert np.all(q * x >= 0.0)  # no sign flips
+
+
+@given(group_vectors)
+@settings(max_examples=60, deadline=None)
+def test_mx_block_relative_error_bound(values):
+    """Every element is within one scaled ulp of its input."""
+    block = MxBlock.encode(values)
+    amax = np.max(np.abs(values))
+    err = np.abs(block.decode() - values)
+    # Elements quantize with the group ulp (possibly halved by the pair
+    # microexponent); saturation at |mant|=63 adds at most one more ulp.
+    assert np.all(err <= amax * 2.0 ** (-MANTISSA_BITS) * 1.001 + 1e-12)
+
+
+@given(group_vectors, group_vectors)
+@settings(max_examples=40, deadline=None)
+def test_mx_multiplier_invariants(a_vals, b_vals):
+    a, b = MxBlock.encode(a_vals), MxBlock.encode(b_vals)
+    out = MxMultiplier()(a, b)
+    assert out.exp == a.exp + b.exp
+    assert np.all(np.abs(out.mant) <= MANTISSA_MAX)
+    assert np.all((out.micro == 0) | (out.micro == 1))
+    exact = a.decode() * b.decode()
+    ulp = 2.0 ** (out.exp - MANTISSA_BITS)
+    assert np.all(np.abs(out.decode() - exact) <= ulp + 1e-12)
+
+
+@given(group_vectors, group_vectors)
+@settings(max_examples=40, deadline=None)
+def test_mx_adder_invariants(a_vals, b_vals):
+    a, b = MxBlock.encode(a_vals), MxBlock.encode(b_vals)
+    out = MxAdder()(a, b)
+    assert np.all(out.micro == 0)
+    assert max(a.exp, b.exp) <= out.exp <= max(a.exp, b.exp) + 1
+    assert np.all(np.abs(out.mant) <= MANTISSA_MAX)
+    exact = a.decode() + b.decode()
+    ulp = 2.0 ** (out.exp - MANTISSA_BITS)
+    assert np.all(np.abs(out.decode() - exact) <= 2 * ulp + 1e-12)
+
+
+@given(arrays(np.float64, GROUP_SIZE, elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_mx8_absolute_error_bounded_by_group_ulp(x):
+    """|Q(x) - x| <= amax * 2^-6 element-wise: no element moves by more
+    than one group-scaled mantissa step (tiny elements may round up by a
+    fraction of the shared ulp, never more)."""
+    q = Mx8Format().quantize(x)
+    amax = np.max(np.abs(x))
+    assert np.all(np.abs(q - x) <= amax * 2.0**-MANTISSA_BITS + 1e-12)

@@ -1,0 +1,88 @@
+"""Tests for request traces and the serving loop (perf + functional)."""
+
+import numpy as np
+import pytest
+
+from repro.models import Family, build_tiny, spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.workloads.requests import Batch, Request, sampled_batch, uniform_batch
+from repro.workloads.serving import ServingSimulator, generate_tokens
+
+
+class TestRequests:
+    def test_uniform_batch_shape(self):
+        batch = uniform_batch(8, 1024, 512)
+        assert batch.size == 8
+        assert batch.max_input_len == 1024
+        assert batch.generated_tokens == 8 * 512
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, 0, 10)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(())
+
+    def test_sampled_batch_reproducible(self):
+        a = sampled_batch(16, np.random.default_rng(1))
+        b = sampled_batch(16, np.random.default_rng(1))
+        assert a == b
+
+
+class TestServingSimulator:
+    @pytest.fixture
+    def sim(self):
+        return ServingSimulator(
+            build_system(SystemKind.PIMBA, "small"), spec_for("Zamba2")
+        )
+
+    def test_throughput_positive(self, sim):
+        result = sim.run(uniform_batch(32, 512, 128))
+        assert result.generation_throughput > 0
+        assert result.total_seconds > result.decode_seconds
+
+    def test_steps_grow_with_context_for_hybrids(self, sim):
+        result = sim.run(uniform_batch(32, 512, 256))
+        assert result.step_seconds[-1] > result.step_seconds[0]
+
+    def test_latency_curve_monotone(self, sim):
+        curve = sim.latency_curve(uniform_batch(16, 256, 512), (125, 256, 512))
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert set(curve) == {125, 256, 512}
+
+    def test_bad_checkpoint_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.latency_curve(uniform_batch(4, 64, 32), (64,))
+
+    def test_su_llm_steps_constant(self):
+        sim = ServingSimulator(
+            build_system(SystemKind.GPU, "small"), spec_for("RetNet")
+        )
+        result = sim.run(uniform_batch(16, 256, 256))
+        assert result.step_seconds[0] == pytest.approx(result.step_seconds[-1])
+
+
+class TestFunctionalGeneration:
+    def test_greedy_generation_deterministic(self):
+        model = build_tiny(Family.MAMBA2)
+        prompts = np.random.default_rng(0).integers(0, 256, size=(2, 4))
+        a = generate_tokens(model, prompts, 6)
+        b = generate_tokens(model, prompts, 6)
+        assert a.shape == (2, 6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampled_generation_runs(self):
+        model = build_tiny(Family.RETNET)
+        prompts = np.zeros((1, 3), dtype=int)
+        out = generate_tokens(
+            model, prompts, 5, greedy=False, rng=np.random.default_rng(2)
+        )
+        assert out.shape == (1, 5)
+        assert np.all((0 <= out) & (out < model.spec.vocab_size))
+
+    def test_prompt_rank_checked(self):
+        model = build_tiny(Family.GLA)
+        with pytest.raises(ValueError):
+            generate_tokens(model, np.zeros(3, dtype=int), 2)
