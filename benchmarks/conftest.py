@@ -4,37 +4,32 @@ Each ``benchmarks/test_*.py`` regenerates one table or figure of the
 paper: it computes the same rows/series the paper reports, prints them
 (run ``pytest benchmarks/ --benchmark-only -s`` to see the tables), and
 asserts the paper's qualitative shape.  Heavy experiments run exactly
-once via ``benchmark.pedantic``.
+once via ``benchmark.pedantic``; sweeps that go through the
+``repro.experiments`` engine are additionally served from its on-disk
+result cache on repeated runs.
 """
 
 from __future__ import annotations
 
+import pathlib
+
+from repro.experiments import Runner
+from repro.experiments.tabulate import format_table
+
+#: repo-local result cache so plain test runs never write to ``~/.cache``
+ENGINE_CACHE_DIR = pathlib.Path(__file__).resolve().parent.parent / ".repro-cache"
+
+
+def engine_runner() -> Runner:
+    """The Runner the benchmark sweeps share (repo-local cache, default
+    fan-out).  Warm reruns are served from ``.repro-cache/``; delete that
+    directory to re-measure from scratch."""
+    return Runner(cache_dir=ENGINE_CACHE_DIR)
+
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
     """Print one reproduction table in aligned columns."""
-    str_rows = [[_fmt(c) for c in row] for row in rows]
-    widths = [
-        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
-        for i, h in enumerate(header)
-    ]
-    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
-    print(f"\n=== {title} ===")
-    print(line)
-    print("-" * len(line))
-    for row in str_rows:
-        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-
-
-def _fmt(cell) -> str:
-    if isinstance(cell, float):
-        if cell == 0:
-            return "0"
-        if abs(cell) >= 100:
-            return f"{cell:.0f}"
-        if abs(cell) >= 1:
-            return f"{cell:.2f}"
-        return f"{cell:.4f}"
-    return str(cell)
+    print(format_table(title, header, rows))
 
 
 def run_once(benchmark, fn):

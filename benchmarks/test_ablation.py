@@ -11,38 +11,14 @@ Not a paper figure — an ablation over the design decisions Sections
    exposed-I/O accounting).
 """
 
-from conftest import print_table, run_once
+from conftest import engine_runner, print_table, run_once
 
-from repro.core import (
-    PimbaAccelerator,
-    hbm_pim_config,
-    per_bank_pipelined_config,
-    pimba_config,
-)
-from repro.hw import area_overhead_percent
-from repro.models import mamba2_2p7b
+from repro.experiments.catalog import ablation_assemble, ablation_spec
 
 
 def _ablation():
-    spec = mamba2_2p7b()
-    heads = 128 * spec.n_heads
-    variants = {
-        "pimba (mx8SR, shared, overlap)": pimba_config(),
-        "- MX8 (fp16 state)": pimba_config(state_format="fp16"),
-        "- sharing (per-bank units)": per_bank_pipelined_config(
-            state_format="mx8SR"
-        ),
-        "- overlap & pipeline (HBM-PIM)": hbm_pim_config(),
-    }
-    rows = []
-    for name, cfg in variants.items():
-        pim = PimbaAccelerator(cfg)
-        t = pim.state_update_timing(heads, spec.dim_head, spec.dim_state)
-        io = t.sweep.exposed_io_cycles / max(1, t.sweep.bus_cycles) * 100
-        rows.append([
-            name, t.seconds * 1e6, area_overhead_percent(cfg), io,
-        ])
-    return rows
+    report = engine_runner().run(ablation_spec())
+    return ablation_assemble(report)
 
 
 def test_design_choice_ablation(benchmark):

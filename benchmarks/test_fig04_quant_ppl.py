@@ -12,11 +12,14 @@ context than a trained 2.7B model), but the ordering and the SR rescue
 reproduce; see EXPERIMENTS.md.
 """
 
+import pytest
 from conftest import print_table, run_once
 
 from repro.accuracy import fig4_study
 from repro.models import Family
 from repro.quant import FIG4_FORMATS
+
+pytestmark = pytest.mark.slow
 
 FAMILIES = (Family.RETNET, Family.GLA, Family.MAMBA2, Family.TRANSFORMER)
 

@@ -6,21 +6,17 @@ negligible extra area) is Pareto-optimal.  Stochastic rounding costs
 almost nothing in area.
 """
 
-from conftest import print_table, run_once
+import pytest
+from conftest import engine_runner, print_table, run_once
 
-from repro.accuracy import quantization_sweep
-from repro.hw import format_overhead_percent
-from repro.models import Family
-from repro.quant import FIG4_FORMATS
+from repro.experiments.catalog import fig06_assemble, fig06_spec
 
-FORMATS = FIG4_FORMATS  # fp16, int8(SR), e4m3(SR), e5m2(SR), mx8(SR)
+pytestmark = pytest.mark.slow
 
 
 def _fig6():
-    ppl = quantization_sweep(Family.MAMBA2, FORMATS, batch=2, seq_len=320)
-    return {
-        fmt: (format_overhead_percent(fmt), ppl[fmt]) for fmt in FORMATS
-    }, ppl["fp64"]
+    report = engine_runner().run(fig06_spec())
+    return fig06_assemble(report)
 
 
 def _dominates(a, b) -> bool:

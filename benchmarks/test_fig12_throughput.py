@@ -6,41 +6,26 @@ small (2.7B/7B) and large (~70B) scales.
 """
 
 import numpy as np
-from conftest import print_table, run_once
+from conftest import engine_runner, print_table, run_once
 
-from repro.models import MODEL_NAMES, spec_for
-from repro.perf import SystemKind, build_system
+from repro.experiments.catalog import FIG12_SYSTEMS, fig12_assemble, fig12_spec
 
-SYSTEMS = (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM, SystemKind.PIMBA)
-BATCHES = (32, 64, 128)
+SYSTEMS = FIG12_SYSTEMS
 
 
 def _fig12():
-    out = {}
-    for scale in ("small", "large"):
-        for name in MODEL_NAMES:
-            spec = spec_for(name, scale)
-            for batch in BATCHES:
-                tput = {
-                    kind: build_system(kind, scale)
-                    .generation_metrics(spec, batch).tokens_per_second
-                    for kind in SYSTEMS
-                }
-                base = tput[SystemKind.GPU]
-                out[(scale, name, batch)] = {
-                    k.value: v / base for k, v in tput.items()
-                }
-    return out
+    report = engine_runner().run(fig12_spec())
+    return fig12_assemble(report)
 
 
 def test_fig12_generation_throughput(benchmark):
     data = run_once(benchmark, _fig12)
     rows = [
-        [scale, name, batch] + [data[(scale, name, batch)][k.value] for k in SYSTEMS]
+        [scale, name, batch] + [data[(scale, name, batch)][k] for k in SYSTEMS]
         for (scale, name, batch) in data
     ]
     print_table("Fig. 12: normalized generation throughput",
-                ["scale", "model", "batch"] + [k.value for k in SYSTEMS], rows)
+                ["scale", "model", "batch"] + list(SYSTEMS), rows)
 
     pimba = np.array([d["Pimba"] for d in data.values()])
     gpu_q = np.array([d["GPU+Q"] for d in data.values()])

@@ -8,10 +8,13 @@ Offline substitution: proxy tasks whose choices are separable only
 through long-range state (``repro.accuracy.tasks``).
 """
 
+import pytest
 from conftest import print_table, run_once
 
 from repro.accuracy import TABLE2_TASKS, table2_row
 from repro.models import Family
+
+pytestmark = pytest.mark.slow
 
 FAMILIES = (Family.RETNET, Family.GLA, Family.MAMBA2, Family.TRANSFORMER)
 N_ITEMS = 16

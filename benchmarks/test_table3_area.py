@@ -6,24 +6,14 @@ Paper: Pimba compute 0.053 mm^2 + buffers 0.039 = 0.092 mm^2 per unit at
 """
 
 import pytest
-from conftest import print_table, run_once
+from conftest import engine_runner, print_table, run_once
 
-from repro.core import hbm_pim_config, pimba_config
-from repro.hw import area_overhead_percent, unit_area, unit_power
+from repro.experiments.catalog import table3_assemble, table3_spec
 
 
 def _table3():
-    rows = {}
-    for name, cfg in (("Pimba", pimba_config()), ("HBM-PIM", hbm_pim_config())):
-        ua = unit_area(cfg)
-        rows[name] = dict(
-            compute_mm2=ua.compute_mm2,
-            buffer_mm2=ua.buffer_mm2,
-            total_mm2=ua.total_mm2,
-            overhead_pct=area_overhead_percent(cfg),
-            power_mw=unit_power(cfg).milliwatts,
-        )
-    return rows
+    report = engine_runner().run(table3_spec())
+    return table3_assemble(report)
 
 
 def test_table3_area_power(benchmark):
@@ -36,7 +26,7 @@ def test_table3_area_power(benchmark):
     for name, d in data.items():
         rows.append([name, d["compute_mm2"], d["buffer_mm2"], d["total_mm2"],
                      d["overhead_pct"], d["power_mw"]])
-        rows.append([f"  (paper)"] + list(paper[name]))
+        rows.append(["  (paper)"] + list(paper[name]))
     print_table("Table 3: unit area and power",
                 ["design", "compute mm2", "buffer mm2", "total mm2",
                  "overhead %", "power mW"], rows)

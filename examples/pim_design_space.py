@@ -3,41 +3,32 @@
 Sweeps the accelerator organization (per-bank time-multiplexed, per-bank
 pipelined, Pimba's shared SPU) crossed with storage formats, and prints
 each point's state-update throughput, area overhead and unit power — the
-landscape behind Figs. 5/6 and Table 3.
+landscape behind Figs. 5/6 and Table 3.  The grid is the registered
+``design-space`` sweep, so ``repro sweep design-space`` prints the raw
+trial values behind this table.
 
 Run:  python examples/pim_design_space.py
 """
 
-from repro.core import PimbaAccelerator, PimbaConfig, PimDesign
-from repro.hw import area_overhead_percent, unit_power
-from repro.models import mamba2_2p7b
+from repro.experiments import Runner
+from repro.experiments.catalog import DESIGN_SPACE, design_space_spec
 
 
 def main() -> None:
-    spec = mamba2_2p7b()
-    heads = 128 * spec.n_heads  # batch 128
-    designs = {
-        "time-mux/bank": dict(design=PimDesign.TIME_MULTIPLEXED, time_mux_sharing=1),
-        "time-mux/2banks": dict(design=PimDesign.TIME_MULTIPLEXED, time_mux_sharing=2),
-        "pipelined/bank": dict(design=PimDesign.PER_BANK_PIPELINED),
-        "pimba shared SPU": dict(design=PimDesign.SHARED_PIPELINED),
-    }
-    formats = ("fp16", "int8", "mx8SR")
+    spec = design_space_spec()
+    report = Runner().run(spec)
+    points = report.mapping("design", "fmt")
 
     print(f"{'design':18s} {'format':8s} {'M subchunks/s':>14s} "
           f"{'area %':>8s} {'mW/unit':>8s} {'budget':>8s}")
-    for dname, overrides in designs.items():
-        for fmt in formats:
-            cfg = PimbaConfig(state_format=fmt, **overrides)
-            pim = PimbaAccelerator(cfg)
-            t = pim.state_update_timing(heads, spec.dim_head, spec.dim_state)
-            rate = t.sweep.rows * cfg.hbm.organization.columns_per_row / t.seconds
-            area = area_overhead_percent(cfg)
-            power = unit_power(cfg).milliwatts
-            ok = "OK" if area < 25 else "OVER"
-            print(f"{dname:18s} {fmt:8s} {rate/1e6:14.1f} "
-                  f"{area:8.1f} {power:8.2f} {ok:>8s}")
+    for dname in DESIGN_SPACE:
+        for fmt in spec.axes["fmt"]:
+            point = points[(dname, fmt)]
+            ok = "OK" if point["area_pct"] < 25 else "OVER"
+            print(f"{dname:18s} {fmt:8s} {point['subchunks_per_s']/1e6:14.1f} "
+                  f"{point['area_pct']:8.1f} {point['unit_mw']:8.2f} {ok:>8s}")
 
+    print(f"\n[{report.summary()}]")
     print("\nTakeaway: only the shared SPU keeps pipelined throughput under")
     print("the 25% logic budget, and MX8 halves the sweep on top of it.")
 

@@ -1,9 +1,9 @@
 """Quantization study: how storage formats damage a recurrent state.
 
 Reproduces the Fig. 4 mechanism on one model family: sweep the nine
-formats, show the swamping blow-up of fp8, the stochastic-rounding
-rescue, and MX8's fp16-grade fidelity — then check a downstream proxy
-task (Table 2 style).
+formats through the cached experiment engine, show the swamping blow-up
+of fp8, the stochastic-rounding rescue, and MX8's fp16-grade fidelity —
+then check a downstream proxy task (Table 2 style).
 
 Run:  python examples/quantization_study.py [--family gla|retnet|mamba2|hgrn2|opt]
 """
@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.accuracy import (
     SyntheticLm,
-    build_items,
-    quantization_sweep,
-    task_accuracy,
     TaskSpec,
+    build_items,
+    task_accuracy,
 )
+from repro.experiments import Runner
+from repro.experiments.catalog import quant_spec
 from repro.models import Family
 from repro.quant import FIG4_FORMATS
 
@@ -32,12 +33,14 @@ def main() -> None:
     family = FAMILIES[args.family]
 
     print(f"Perplexity of {family.value} under state/KV storage formats")
-    results = quantization_sweep(family, FIG4_FORMATS, batch=2, seq_len=320)
+    report = Runner().run(quant_spec(family=family.value))
+    results = report.mapping("fmt")
     base = results["fp64"]
     for fmt in ("fp64",) + FIG4_FORMATS:
         ppl = results[fmt]
         bar = "#" * int(min(60, 40 * (ppl / base - 1) * 10 + 1))
         print(f"  {fmt:8s} {ppl:8.2f}  (+{100 * (ppl / base - 1):5.1f}%) {bar}")
+    print(f"  [{report.summary()}]")
 
     print("\nDownstream proxy task (state-dependent multiple choice):")
     lm = SyntheticLm(family)

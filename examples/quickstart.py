@@ -6,8 +6,10 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.models import Family, build_tiny, mamba2_2p7b
-from repro.perf import OpKind, SystemKind, build_system
+from repro.experiments import ExperimentSpec, Runner
+from repro.experiments.catalog import FIG12_SYSTEMS
+from repro.models import Family, build_tiny
+from repro.perf import OpKind
 from repro.quant import get_format
 from repro.workloads import generate_tokens
 
@@ -29,17 +31,23 @@ def main() -> None:
     print(f"   agreement under greedy decoding: {agree:.0%}\n")
 
     # --- 2. performance: what Pimba buys at serving scale -----------------
+    # One engine sweep over the system axis; results come from the on-disk
+    # cache on a rerun.
     print("2) Serving Mamba-2 2.7B at batch 128, (2048, 2048)")
-    spec = mamba2_2p7b()
-    for kind in (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM,
-                 SystemKind.PIMBA):
-        system = build_system(kind, "small")
-        metrics = system.generation_metrics(spec, 128)
-        step = metrics.step
-        su_ms = step.seconds_by_kind.get(OpKind.STATE_UPDATE, 0.0) * 1e3
-        print(f"   {kind.value:8s} {metrics.tokens_per_second:8.0f} tok/s   "
-              f"step {step.total*1e3:6.2f} ms   state update {su_ms:6.2f} ms "
-              f"on {step.placements.get(OpKind.STATE_UPDATE, '-')}")
+    spec = ExperimentSpec(
+        name="quickstart",
+        trial_fn="serving_throughput",
+        axes={"system": FIG12_SYSTEMS},
+        fixed={"model": "Mamba-2", "batch": 128, "scale": "small"},
+    )
+    report = Runner().run(spec)
+    su = OpKind.STATE_UPDATE.value
+    for system, m in report.mapping("system").items():
+        su_ms = m["step_by_kind"].get(su, 0.0) * 1e3
+        print(f"   {system:8s} {m['tokens_per_second']:8.0f} tok/s   "
+              f"step {m['step_total']*1e3:6.2f} ms   state update {su_ms:6.2f} ms "
+              f"on {m['placements'].get(su, '-')}")
+    print(f"\n   [{report.summary()}]")
 
 
 if __name__ == "__main__":

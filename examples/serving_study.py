@@ -1,54 +1,71 @@
 """Serving study: throughput, latency breakdown and memory for all six
 evaluated models under every system — a miniature of Figs. 12/13.
 
-Run:  python examples/serving_study.py [--scale small|large]
+Driven by the ``repro.experiments`` engine: the model x system grid fans
+out over worker processes and is served from the result cache on reruns.
+
+Run:  python examples/serving_study.py [--scale small|large] [--jobs N]
 """
 
 import argparse
 
-from repro.models import MODEL_NAMES, spec_for
-from repro.perf import OpKind, SystemKind, build_system
-from repro.workloads import ServingSimulator, uniform_batch
-
-SYSTEMS = (SystemKind.GPU, SystemKind.GPU_Q, SystemKind.GPU_PIM, SystemKind.PIMBA)
+from repro.experiments import ExperimentSpec, Runner
+from repro.experiments.catalog import FIG12_SYSTEMS as SYSTEMS
+from repro.models import MODEL_NAMES
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=("small", "large"), default="large")
     parser.add_argument("--batch", type=int, default=128)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
+    runner = Runner(max_workers=args.jobs, use_cache=not args.no_cache)
 
     print(f"scale={args.scale}, batch={args.batch}, (2048, 2048) lengths\n")
-    header = f"{'model':10s} " + "".join(f"{k.value:>10s}" for k in SYSTEMS)
+    sim_spec = ExperimentSpec(
+        name="serving-study",
+        trial_fn="served_throughput",
+        axes={"model": MODEL_NAMES, "system": SYSTEMS},
+        fixed={"batch": args.batch, "scale": args.scale},
+    )
+    tput = {
+        key: value["generation_throughput"]
+        for key, value in runner.run(sim_spec).mapping("model", "system").items()
+    }
+    header = f"{'model':10s} " + "".join(f"{s:>10s}" for s in SYSTEMS)
     print(header + f"{'Pimba gain':>12s}")
     for name in MODEL_NAMES:
-        spec = spec_for(name, args.scale)
-        tput = {}
-        for kind in SYSTEMS:
-            sim = ServingSimulator(build_system(kind, args.scale), spec)
-            result = sim.run(uniform_batch(args.batch))
-            tput[kind] = result.generation_throughput
-        gain = tput[SystemKind.PIMBA] / tput[SystemKind.GPU]
-        print(f"{name:10s} " + "".join(f"{tput[k]:10.0f}" for k in SYSTEMS)
+        gain = tput[(name, "Pimba")] / tput[(name, "GPU")]
+        print(f"{name:10s} "
+              + "".join(f"{tput[(name, s)]:10.0f}" for s in SYSTEMS)
               + f"{gain:11.2f}x")
 
-    print("\nWhere does Pimba's time go? (RetNet, batch 128)")
-    spec = spec_for("RetNet", args.scale)
-    for kind in (SystemKind.GPU, SystemKind.PIMBA):
-        step = build_system(kind, args.scale).step_latency(spec, args.batch, 3072)
+    # The step breakdown and memory numbers ride on the same trial function
+    # (and therefore the same cache entries) as Fig. 12's metric.
+    step_spec = ExperimentSpec(
+        name="serving-study-breakdown",
+        trial_fn="serving_throughput",
+        axes={"model": ("RetNet", "Mamba-2", "OPT"), "system": ("GPU", "Pimba")},
+        fixed={"batch": args.batch, "scale": args.scale},
+    )
+    detail = runner.run(step_spec).mapping("model", "system")
+
+    print("\nWhere does Pimba's time go? (RetNet, batch 128, mid-generation)")
+    for system in ("GPU", "Pimba"):
+        m = detail[("RetNet", system)]
         parts = ", ".join(
-            f"{k.value}={v*1e3:.2f}ms" for k, v in step.seconds_by_kind.items()
-            if v > step.total * 0.02
+            f"{kind}={seconds*1e3:.2f}ms" for kind, seconds in m["step_by_kind"].items()
+            if seconds > m["step_total"] * 0.02
         )
-        print(f"  {kind.value:8s} total {step.total*1e3:7.2f} ms   ({parts})")
+        print(f"  {system:8s} total {m['step_total']*1e3:7.2f} ms   ({parts})")
 
     print("\nPer-device memory at seq 4096 (GiB):")
     for name in ("Mamba-2", "OPT"):
-        spec = spec_for(name, args.scale)
-        for kind in (SystemKind.GPU, SystemKind.PIMBA):
-            mem = build_system(kind, args.scale).memory_usage(spec, args.batch, 4096)
-            print(f"  {name:8s} {kind.value:8s} {mem/2**30:8.1f}")
+        for system in ("GPU", "Pimba"):
+            mem = detail[(name, system)]["memory_bytes"]
+            print(f"  {name:8s} {system:8s} {mem/2**30:8.1f}")
 
 
 if __name__ == "__main__":

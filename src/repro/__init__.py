@@ -16,6 +16,8 @@ transformers.  This library rebuilds the paper's whole stack in Python:
 * ``repro.accuracy``  — synthetic-LM perplexity/accuracy harness (Fig. 4,
                         Table 2)
 * ``repro.workloads`` — batched serving-loop workload generator
+* ``repro.experiments`` — parallel, cached experiment engine behind the
+                        figure sweeps and the ``repro`` CLI
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

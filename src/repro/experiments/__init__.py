@@ -1,0 +1,43 @@
+"""Parallel, cached experiment engine.
+
+The substrate under every figure sweep: declare a cartesian grid
+(:class:`ExperimentSpec`), run it with process fan-out and an on-disk JSON
+result cache (:class:`Runner`), and get deterministic, order-stable results
+(:class:`RunReport`) whether the grid ran serially, in parallel, or straight
+from cache.  The paper's figure grids live in
+:mod:`repro.experiments.catalog`; the ``repro`` CLI drives them from
+:mod:`repro.experiments.cli`.
+"""
+
+from repro.experiments.cache import CachedResult, ResultCache, default_cache_dir
+from repro.experiments.registry import (
+    get_sweep,
+    get_trial,
+    sweep,
+    sweep_names,
+    trial,
+    trial_names,
+)
+from repro.experiments.runner import Runner, RunReport, TrialResult
+from repro.experiments.spec import ExperimentSpec, Trial, canonical_json, stable_hash
+from repro.experiments.tabulate import format_table
+
+__all__ = [
+    "CachedResult",
+    "ResultCache",
+    "default_cache_dir",
+    "get_sweep",
+    "get_trial",
+    "sweep",
+    "sweep_names",
+    "trial",
+    "trial_names",
+    "Runner",
+    "RunReport",
+    "TrialResult",
+    "ExperimentSpec",
+    "Trial",
+    "canonical_json",
+    "stable_hash",
+    "format_table",
+]

@@ -1,0 +1,118 @@
+"""On-disk JSON result cache for experiment trials.
+
+Each trial's result lives in one small JSON file under
+``<root>/<trial_fn>/<key>.json``, where ``key`` is the stable hash of the
+trial's full configuration (see :class:`~repro.experiments.spec.Trial`).
+Entries additionally record a *code fingerprint* — a content hash of every
+``.py`` file in the installed ``repro`` package — so editing the model or
+simulator source silently invalidates stale results instead of serving
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+import repro
+from repro.experiments.spec import Trial, canonical_json
+
+#: bump when the entry layout below changes shape
+CACHE_FORMAT = 1
+
+#: environment variable overriding the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content hash of every Python source file in the ``repro`` package."""
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:20]
+
+
+@dataclasses.dataclass(frozen=True)
+class CachedResult:
+    """A deserialized cache hit."""
+
+    value: object
+    elapsed: float
+
+
+class ResultCache:
+    """Filesystem-backed trial result store."""
+
+    def __init__(
+        self,
+        root: pathlib.Path | str | None = None,
+        fingerprint: str | None = None,
+    ):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint if fingerprint else code_fingerprint()
+
+    def path_for(self, trial: Trial) -> pathlib.Path:
+        return self.root / trial.trial_fn / f"{trial.key}.json"
+
+    def load(self, trial: Trial) -> CachedResult | None:
+        """Return the cached result for ``trial``, or ``None`` on a miss.
+
+        A corrupt, stale (different code fingerprint), or mismatched entry
+        counts as a miss.
+        """
+        path = self.path_for(trial)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            entry.get("format") != CACHE_FORMAT
+            or entry.get("fingerprint") != self.fingerprint
+            or entry.get("trial_fn") != trial.trial_fn
+            or entry.get("params") != json.loads(canonical_json(dict(trial.params)))
+        ):
+            return None
+        return CachedResult(value=entry["value"], elapsed=entry.get("elapsed", 0.0))
+
+    def store(self, trial: Trial, value: object, elapsed: float) -> pathlib.Path:
+        """Atomically persist one trial result; returns the entry's path."""
+        path = self.path_for(trial)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "trial_fn": trial.trial_fn,
+            "params": dict(trial.params),
+            "value": value,
+            "elapsed": elapsed,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,0 +1,193 @@
+"""The ``repro`` command line: run sweeps and regenerate paper figures.
+
+Usage::
+
+    repro list                      # what can I run?
+    repro figure fig12 [--smoke]    # regenerate a figure's table
+    repro sweep fig12 --set batch=32,64
+    python -m repro ...             # same thing without the console script
+
+Every run goes through the parallel cached engine: a second invocation of
+the same figure is served from ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``)
+without re-running trials.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import registry
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import Runner, RunReport, TrialResult
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.tabulate import format_table
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a tiny subset of the grid (CI smoke mode)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="run trials in-process, one at a time",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every trial and do not touch the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print each trial as it completes",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel, cached experiment engine for the Pimba reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list figures, sweeps and trial functions")
+
+    figure = commands.add_parser("figure", help="regenerate one paper figure/table")
+    figure.add_argument("figure_name", choices=sorted(FIGURES))
+    _add_run_options(figure)
+
+    sweep = commands.add_parser("sweep", help="run a registered sweep by name")
+    sweep.add_argument("sweep_name", choices=registry.sweep_names())
+    sweep.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="AXIS=V1[,V2]",
+        help="narrow an axis to the given comma-separated values",
+    )
+    _add_run_options(sweep)
+
+    return parser
+
+
+def parse_axis_override(text: str) -> tuple[str, tuple]:
+    """Parse ``axis=v1,v2`` into an axis name and a tuple of typed values."""
+    axis, sep, raw = text.partition("=")
+    if not sep or not axis or not raw:
+        raise ValueError(f"expected AXIS=V1[,V2,...], got {text!r}")
+    values = []
+    for item in raw.split(","):
+        try:
+            values.append(json.loads(item))
+        except ValueError:
+            values.append(item)
+    return axis, tuple(values)
+
+
+def _print_progress(result: TrialResult) -> None:
+    origin = "cache" if result.cached else f"{result.elapsed:.2f}s"
+    print(f"  [{origin}] {result.trial.label()}")
+
+
+def _runner_for(args: argparse.Namespace) -> Runner:
+    max_workers = 1 if args.serial else args.jobs
+    return Runner(
+        cache_dir=args.cache_dir,
+        max_workers=max_workers,
+        use_cache=not args.no_cache,
+    )
+
+
+def _run(args: argparse.Namespace, spec: ExperimentSpec) -> RunReport:
+    progress = _print_progress if args.verbose else None
+    return _runner_for(args).run(spec, progress=progress)
+
+
+def format_number(value: object) -> object:
+    """Round floats for the compact JSON result column."""
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def _cmd_list() -> int:
+    print("figures:")
+    for name in sorted(FIGURES):
+        print(f"  {name:14s} {FIGURES[name].title}")
+    print("sweeps:")
+    for name in registry.sweep_names():
+        doc = (registry.get_sweep(name).__doc__ or "").strip().splitlines()
+        print(f"  {name:14s} {doc[0] if doc else ''}")
+    print("trial functions:")
+    for name in registry.trial_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fig = FIGURES[args.figure_name]
+    report = _run(args, fig.spec(args.smoke))
+    title, header, rows = fig.table(report)
+    print(format_table(title, header, rows))
+    print(f"\n{report.summary()}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = registry.get_sweep(args.sweep_name)(args.smoke)
+    try:
+        for text in args.overrides:
+            axis, values = parse_axis_override(text)
+            spec = spec.with_axes(**{axis: values})
+    except (KeyError, ValueError) as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
+    report = _run(args, spec)
+    header = [*spec.axis_names, "result"]
+    rows = []
+    for result in report.results:
+        value = result.value
+        if isinstance(value, dict):
+            value = json.dumps({k: format_number(v) for k, v in value.items()})
+        rows.append([*(result.trial.params[a] for a in spec.axis_names), value])
+    print(format_table(f"sweep {spec.name} ({spec.trial_fn})", header, rows))
+    print(f"\n{report.summary()}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    # Bad *arguments* (unknown axis, malformed --set) exit 2 with a one-line
+    # message from _cmd_sweep; errors raised while trials run propagate as
+    # tracebacks so real bugs are never masked as usage errors.
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return _cmd_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Figure definitions for the CLI: sweep + assemble + render per figure.
+
+A :class:`Figure` binds one catalog sweep to the reshaping and rendering
+that turn its raw trial results into the table the paper prints.  The
+benchmark tests use the same ``spec``/``assemble`` pair, so ``repro figure
+fig12`` and ``pytest benchmarks/test_fig12_throughput.py`` are two views of
+the identical computation (and share the identical cache entries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.experiments import catalog
+from repro.experiments.runner import RunReport
+from repro.experiments.spec import ExperimentSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure:
+    """One reproducible figure/table of the paper."""
+
+    name: str
+    title: str
+    spec: Callable[[bool], ExperimentSpec]
+    assemble: Callable[[RunReport], object]
+    render: Callable[[object], tuple[list[str], list[list]]]
+
+    def table(self, report: RunReport) -> tuple[str, list[str], list[list]]:
+        """Assemble a report and return ``(title, header, rows)``."""
+        header, rows = self.render(self.assemble(report))
+        return self.title, header, rows
+
+
+def _render_fig12(data: dict) -> tuple[list[str], list[list]]:
+    header = ["scale", "model", "batch", *catalog.FIG12_SYSTEMS]
+    rows = []
+    for (scale, model, batch), by_system in data.items():
+        values = [by_system[system] for system in catalog.FIG12_SYSTEMS]
+        rows.append([scale, model, batch, *values])
+    return header, rows
+
+
+def _render_fig06(assembled: tuple[dict, float]) -> tuple[list[str], list[list]]:
+    points, base_ppl = assembled
+    header = ["format", "area overhead %", "perplexity", "vs fp64"]
+    rows = [
+        [fmt, area, ppl, f"{100 * (ppl / base_ppl - 1):+.1f}%"]
+        for fmt, (area, ppl) in points.items()
+    ]
+    return header, rows
+
+
+def _render_table3(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "design",
+        "compute mm2",
+        "buffer mm2",
+        "total mm2",
+        "overhead %",
+        "power mW",
+    ]
+    rows = []
+    for design, d in data.items():
+        rows.append(
+            [
+                design,
+                d["compute_mm2"],
+                d["buffer_mm2"],
+                d["total_mm2"],
+                d["overhead_pct"],
+                d["power_mw"],
+            ]
+        )
+    return header, rows
+
+
+FIGURES: dict[str, Figure] = {
+    "fig12": Figure(
+        name="fig12",
+        title="Fig. 12: normalized generation throughput (vs. GPU baseline)",
+        spec=catalog.fig12_spec,
+        assemble=catalog.fig12_assemble,
+        render=_render_fig12,
+    ),
+    "fig06": Figure(
+        name="fig06",
+        title="Fig. 6: area vs perplexity (Mamba-2)",
+        spec=catalog.fig06_spec,
+        assemble=catalog.fig06_assemble,
+        render=_render_fig06,
+    ),
+    "table3": Figure(
+        name="table3",
+        title="Table 3: unit area and power",
+        spec=catalog.table3_spec,
+        assemble=catalog.table3_assemble,
+        render=_render_table3,
+    ),
+}

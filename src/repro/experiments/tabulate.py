@@ -1,0 +1,30 @@
+"""Plain-text table rendering shared by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+
+def format_cell(cell: object) -> str:
+    """Render one cell: floats get magnitude-dependent precision."""
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(title: str, header: list[str], rows: list[list]) -> str:
+    """One reproduction table in aligned columns, ready to print."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [f"\n=== {title} ===", line, "-" * len(line)]
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
