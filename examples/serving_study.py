@@ -1,71 +1,99 @@
-"""Serving study: throughput, latency breakdown and memory for all six
-evaluated models under every system — a miniature of Figs. 12/13.
+"""Serving study, request level: what each system's throughput means for
+real traffic — TTFT/TPOT tails, queue depths, and goodput under an SLO.
 
-Driven by the ``repro.experiments`` engine: the model x system grid fans
-out over worker processes and is served from the result cache on reruns.
+Built on ``repro.serving``: a seeded Poisson arrival trace is served by
+every system with FCFS continuous batching (and, for comparison, static
+batching and the HBM-capacity-aware policy on the strongest contenders).
+All grids run through the ``repro.experiments`` engine, so reruns are
+served from the result cache.
 
-Run:  python examples/serving_study.py [--scale small|large] [--jobs N]
+Run:  python examples/serving_study.py [--qps N ...] [--model NAME] [--jobs N]
 """
 
 import argparse
 
 from repro.experiments import ExperimentSpec, Runner
-from repro.experiments.catalog import FIG12_SYSTEMS as SYSTEMS
-from repro.models import MODEL_NAMES
+from repro.serving.experiments import SERVING_SYSTEMS
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=("small", "large"), default="large")
-    parser.add_argument("--batch", type=int, default=128)
+    parser.add_argument("--model", default="Zamba2")
+    parser.add_argument("--qps", type=float, nargs="+",
+                        default=[2.0, 6.0, 10.0, 14.0])
+    parser.add_argument("--n-requests", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--jobs", type=int, default=None)
     parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
     runner = Runner(max_workers=args.jobs, use_cache=not args.no_cache)
+    fixed = dict(model=args.model, n_requests=args.n_requests,
+                 max_batch=args.max_batch)
 
-    print(f"scale={args.scale}, batch={args.batch}, (2048, 2048) lengths\n")
-    sim_spec = ExperimentSpec(
+    print(f"{args.model}, Poisson arrivals, (1024, 256) requests, "
+          f"{args.max_batch} slots, SLO: TTFT<=2s TPOT<=18ms\n")
+
+    spec = ExperimentSpec(
         name="serving-study",
-        trial_fn="served_throughput",
-        axes={"model": MODEL_NAMES, "system": SYSTEMS},
-        fixed={"batch": args.batch, "scale": args.scale},
+        trial_fn="serving_slo",
+        axes={"system": SERVING_SYSTEMS, "qps": tuple(args.qps)},
+        fixed=fixed,
     )
-    tput = {
-        key: value["generation_throughput"]
-        for key, value in runner.run(sim_spec).mapping("model", "system").items()
-    }
-    header = f"{'model':10s} " + "".join(f"{s:>10s}" for s in SYSTEMS)
-    print(header + f"{'Pimba gain':>12s}")
-    for name in MODEL_NAMES:
-        gain = tput[(name, "Pimba")] / tput[(name, "GPU")]
-        print(f"{name:10s} "
-              + "".join(f"{tput[(name, s)]:10.0f}" for s in SYSTEMS)
-              + f"{gain:11.2f}x")
+    results = runner.run(spec).mapping("system", "qps")
 
-    # The step breakdown and memory numbers ride on the same trial function
-    # (and therefore the same cache entries) as Fig. 12's metric.
-    step_spec = ExperimentSpec(
-        name="serving-study-breakdown",
-        trial_fn="serving_throughput",
-        axes={"model": ("RetNet", "Mamba-2", "OPT"), "system": ("GPU", "Pimba")},
-        fixed={"batch": args.batch, "scale": args.scale},
+    header = (f"{'system':8s} {'qps':>6s} {'ttft p50':>9s} {'ttft p99':>9s} "
+              f"{'tpot p99':>9s} {'queue':>6s} {'tok/s':>7s} "
+              f"{'goodput':>8s} {'SLO %':>6s}")
+    print(header)
+    for system in SERVING_SYSTEMS:
+        for qps in args.qps:
+            m = results[(system, qps)]
+            print(f"{system:8s} {qps:6.1f} {m['ttft_p50_s']:8.2f}s "
+                  f"{m['ttft_p99_s']:8.2f}s {m['tpot_p99_s']*1e3:7.1f}ms "
+                  f"{m['mean_queue_depth']:6.1f} "
+                  f"{m['throughput_tokens_per_s']:7.0f} "
+                  f"{m['goodput_rps']:8.2f} {m['slo_attainment']*100:5.0f}%")
+        print()
+
+    # Scheduler face-off at the load where the GPU baseline saturates:
+    # full static batches vs. iteration-level admission at matched slots,
+    # then HBM-capacity-aware packing (no slot cap — residency is bounded
+    # by the state+KV footprint at the storage format's true byte width,
+    # so Pimba's MX8 fits ~2x the concurrent requests of fp16).
+    qps = max(args.qps)
+    sched_spec = ExperimentSpec(
+        name="serving-study-schedulers",
+        trial_fn="serving_slo",
+        axes={
+            "scheduler": ("static", "fcfs"),
+            "system": ("GPU", "Pimba"),
+        },
+        fixed={**fixed, "qps": qps},
     )
-    detail = runner.run(step_spec).mapping("model", "system")
+    by_policy = runner.run(sched_spec).mapping("scheduler", "system")
+    capacity_spec = ExperimentSpec(
+        name="serving-study-capacity",
+        trial_fn="serving_slo",
+        axes={"system": ("GPU", "Pimba")},
+        fixed={**fixed, "qps": qps, "scheduler": "memory",
+               "max_batch": 512, "capacity_gib": 24.0},
+    )
+    by_capacity = runner.run(capacity_spec).mapping("system")
 
-    print("\nWhere does Pimba's time go? (RetNet, batch 128, mid-generation)")
-    for system in ("GPU", "Pimba"):
-        m = detail[("RetNet", system)]
-        parts = ", ".join(
-            f"{kind}={seconds*1e3:.2f}ms" for kind, seconds in m["step_by_kind"].items()
-            if seconds > m["step_total"] * 0.02
-        )
-        print(f"  {system:8s} total {m['step_total']*1e3:7.2f} ms   ({parts})")
-
-    print("\nPer-device memory at seq 4096 (GiB):")
-    for name in ("Mamba-2", "OPT"):
+    print(f"Scheduler comparison at qps={qps:.0f} (goodput req/s, ttft p99):")
+    for scheduler in ("static", "fcfs"):
+        row = []
         for system in ("GPU", "Pimba"):
-            mem = detail[(name, system)]["memory_bytes"]
-            print(f"  {name:8s} {system:8s} {mem/2**30:8.1f}")
+            m = by_policy[(scheduler, system)]
+            row.append(f"{system} {m['goodput_rps']:5.2f} / "
+                       f"{m['ttft_p99_s']:5.2f}s")
+        print(f"  {scheduler:12s} " + "   ".join(row))
+    row = []
+    for system in ("GPU", "Pimba"):
+        m = by_capacity[system]
+        row.append(f"{system} {m['goodput_rps']:5.2f} / "
+                   f"{m['ttft_p99_s']:5.2f}s")
+    print(f"  {'memory@24GiB':12s} " + "   ".join(row))
 
 
 if __name__ == "__main__":

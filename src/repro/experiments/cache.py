@@ -58,6 +58,16 @@ class CachedResult:
     elapsed: float
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Aggregate view of one cache root (``repro cache info``)."""
+
+    root: pathlib.Path
+    n_entries: int
+    total_bytes: int
+    by_trial_fn: dict[str, int]
+
+
 class ResultCache:
     """Filesystem-backed trial result store."""
 
@@ -91,6 +101,63 @@ class ResultCache:
         ):
             return None
         return CachedResult(value=entry["value"], elapsed=entry.get("elapsed", 0.0))
+
+    def entries(self) -> list[pathlib.Path]:
+        """Every recognized result file under the root (any fingerprint).
+
+        A file only counts as an entry if it carries the cache's own
+        layout markers, so foreign JSON inside a mistyped ``--cache-dir``
+        is never reported — or deleted — as a cached result.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.glob("*/*.json")
+            if p.is_file() and self._is_entry(p)
+        )
+
+    @staticmethod
+    def _is_entry(path: pathlib.Path) -> bool:
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(entry, dict)
+            and "format" in entry
+            and entry.get("trial_fn") == path.parent.name
+        )
+
+    def stats(self) -> CacheStats:
+        """Entry counts and sizes, grouped by trial function."""
+        by_fn: dict[str, int] = {}
+        total = 0
+        entries = self.entries()
+        for path in entries:
+            by_fn[path.parent.name] = by_fn.get(path.parent.name, 0) + 1
+            total += path.stat().st_size
+        return CacheStats(
+            root=self.root,
+            n_entries=len(entries),
+            total_bytes=total,
+            by_trial_fn=by_fn,
+        )
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed.
+
+        Only recognized entry files (see :meth:`entries`) and then-empty
+        trial directories are touched, so a mistyped ``--cache-dir``
+        cannot delete foreign data.
+        """
+        entries = self.entries()
+        for path in entries:
+            path.unlink()
+        for parent in {path.parent for path in entries}:
+            if not any(parent.iterdir()):
+                parent.rmdir()
+        return len(entries)
 
     def store(self, trial: Trial, value: object, elapsed: float) -> pathlib.Path:
         """Atomically persist one trial result; returns the entry's path."""

@@ -35,6 +35,7 @@ from repro.hw import (
 from repro.models import MODEL_NAMES, Family, mamba2_2p7b, spec_for
 from repro.perf import SystemKind, build_system
 from repro.quant import FIG4_FORMATS
+from repro.serving import experiments as _serving  # noqa: F401  (registers)
 from repro.workloads import ServingSimulator, uniform_batch
 
 #: the four systems compared in Figs. 12/13 (NeuPIMs joins in Fig. 15)

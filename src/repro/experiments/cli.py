@@ -5,21 +5,28 @@ Usage::
     repro list                      # what can I run?
     repro figure fig12 [--smoke]    # regenerate a figure's table
     repro sweep fig12 --set batch=32,64
+    repro sweep serving --set system=GPU,Pimba --json results.json
+    repro cache info                # where is the cache, how big is it?
+    repro cache clear
     python -m repro ...             # same thing without the console script
 
 Every run goes through the parallel cached engine: a second invocation of
 the same figure is served from ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``)
-without re-running trials.
+without re-running trials.  ``--json PATH`` additionally writes the raw
+trial results as a machine-readable report (what CI uploads as the perf
+artifact).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from collections.abc import Sequence
 
 from repro.experiments import registry
+from repro.experiments.cache import ResultCache
 from repro.experiments.figures import FIGURES
 from repro.experiments.runner import Runner, RunReport, TrialResult
 from repro.experiments.spec import ExperimentSpec
@@ -62,6 +69,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print each trial as it completes",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        dest="json_path",
+        metavar="PATH",
+        help="also write the trial results as a JSON report",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="narrow an axis to the given comma-separated values",
     )
     _add_run_options(sweep)
+
+    cache = commands.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     return parser
 
@@ -122,7 +145,37 @@ def _runner_for(args: argparse.Namespace) -> Runner:
 
 def _run(args: argparse.Namespace, spec: ExperimentSpec) -> RunReport:
     progress = _print_progress if args.verbose else None
-    return _runner_for(args).run(spec, progress=progress)
+    report = _runner_for(args).run(spec, progress=progress)
+    if args.json_path:
+        write_json_report(report, args.json_path)
+    return report
+
+
+def report_payload(report: RunReport) -> dict:
+    """A ``RunReport`` as plain JSON data (params, values, provenance)."""
+    return {
+        "name": report.spec.name,
+        "trial_fn": report.spec.trial_fn,
+        "axes": {k: list(v) for k, v in report.spec.axes.items()},
+        "fixed": dict(report.spec.fixed),
+        "wall_seconds": report.wall_seconds,
+        "n_cached": report.n_cached,
+        "n_executed": report.n_executed,
+        "results": [
+            {
+                "params": dict(r.trial.params),
+                "value": r.value,
+                "cached": r.cached,
+                "elapsed": r.elapsed,
+            }
+            for r in report.results
+        ],
+    }
+
+
+def write_json_report(report: RunReport, path: str) -> None:
+    pathlib.Path(path).write_text(json.dumps(report_payload(report), indent=1))
+    print(f"wrote {len(report)} trial results to {path}")
 
 
 def format_number(value: object) -> object:
@@ -177,6 +230,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root: {stats.root}")
+    print(f"entries:    {stats.n_entries} ({stats.total_bytes / 1024:.1f} KiB)")
+    for trial_fn in sorted(stats.by_trial_fn):
+        print(f"  {trial_fn:24s} {stats.by_trial_fn[trial_fn]}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     # Bad *arguments* (unknown axis, malformed --set) exit 2 with a one-line
     # message from _cmd_sweep; errors raised while trials run propagate as
@@ -186,6 +253,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_sweep(args)
 
 

@@ -15,6 +15,7 @@ from collections.abc import Callable
 from repro.experiments import catalog
 from repro.experiments.runner import RunReport
 from repro.experiments.spec import ExperimentSpec
+from repro.serving import experiments as serving_experiments
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,5 +98,12 @@ FIGURES: dict[str, Figure] = {
         spec=catalog.table3_spec,
         assemble=catalog.table3_assemble,
         render=_render_table3,
+    ),
+    "latency_throughput": Figure(
+        name="latency_throughput",
+        title="Latency-throughput: SLO metrics under rising load (per system)",
+        spec=serving_experiments.serving_spec,
+        assemble=serving_experiments.serving_assemble,
+        render=serving_experiments.serving_render,
     ),
 }

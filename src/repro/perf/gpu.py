@@ -49,6 +49,9 @@ class GpuSpec:
     name: str
     peak_fp16_flops: float
     hbm: HbmConfig
+    #: total HBM capacity per device (bounds state+KV residency when the
+    #: request-level scheduler packs batches)
+    hbm_capacity_bytes: float = 80 * 2**30
 
     @property
     def mem_bandwidth(self) -> float:
@@ -61,7 +64,7 @@ def a100() -> GpuSpec:
 
 
 def h100() -> GpuSpec:
-    """NVIDIA H100 SXM: 989 TFLOPS fp16, ~3.36 TB/s HBM3."""
+    """NVIDIA H100 SXM 80GB: 989 TFLOPS fp16, ~3.36 TB/s HBM3."""
     return GpuSpec("H100", peak_fp16_flops=989e12, hbm=h100_hbm())
 
 

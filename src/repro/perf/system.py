@@ -35,6 +35,7 @@ from repro.perf.operators import (
     generation_step_ops,
 )
 from repro.perf.parallelism import Interconnect, communication_seconds, nvlink3
+from repro.quant import get_format
 
 
 class SystemKind(enum.Enum):
@@ -47,17 +48,24 @@ class SystemKind(enum.Enum):
     NEUPIMS = "NeuPIMs"
 
 
-#: int8 with a 16-bit scale per 32 elements
-_INT8_BYTES = 8.5 / 8
-#: MX8
-_MX8_BYTES = 1.0
+#: storage format (quant registry name) backing each system's state/KV cache
+STATE_FORMATS = {
+    SystemKind.GPU: "fp16",
+    SystemKind.GPU_Q: "int8",     # int8 with a 16-bit scale per 32 elements
+    SystemKind.GPU_PIM: "fp16",
+    SystemKind.PIMBA: "mx8SR",
+    SystemKind.NEUPIMS: "fp16",
+}
+
+
+def _state_bytes(kind: SystemKind) -> float:
+    """State/KV bytes per value, from the quant format's true bit width."""
+    return get_format(STATE_FORMATS[kind]).bits_per_value / 8.0
+
 
 _PRECISIONS = {
-    SystemKind.GPU: PrecisionConfig(),
-    SystemKind.GPU_Q: PrecisionConfig(state_bytes=_INT8_BYTES, kv_bytes=_INT8_BYTES),
-    SystemKind.GPU_PIM: PrecisionConfig(),
-    SystemKind.PIMBA: PrecisionConfig(state_bytes=_MX8_BYTES, kv_bytes=_MX8_BYTES),
-    SystemKind.NEUPIMS: PrecisionConfig(),
+    kind: PrecisionConfig(state_bytes=_state_bytes(kind), kv_bytes=_state_bytes(kind))
+    for kind in SystemKind
 }
 
 _OFFLOADS = {
@@ -218,19 +226,37 @@ class ServingSystem:
             ),
         )
 
+    @property
+    def capacity_bytes(self) -> float:
+        """Total HBM capacity across the cluster's devices."""
+        return self.gpu_spec.hbm_capacity_bytes * self.n_devices
+
+    def weights_bytes(self, spec: ModelSpec) -> float:
+        """Cluster-wide weight bytes (sharded across devices under TP)."""
+        return spec.param_count * self.precision.weight_bytes
+
+    def state_bytes_per_request(self, spec: ModelSpec) -> float:
+        """Cluster-wide recurrent-state bytes one request keeps resident
+        (context-invariant), at this system's storage byte width."""
+        return (
+            spec.state_update_layers * spec.state_values_per_layer
+            * self.precision.state_bytes
+        )
+
+    def kv_bytes_per_request(self, spec: ModelSpec, seq_len: int) -> float:
+        """Cluster-wide KV-cache bytes of one request at context ``seq_len``."""
+        return (
+            spec.attention_layers * spec.n_heads * seq_len
+            * (spec.dim_head + spec.dim_state) * self.precision.kv_bytes
+        )
+
     def memory_usage(self, spec: ModelSpec, batch: int, seq_len: int) -> float:
         """Per-device bytes: weights + states + KV caches (Fig. 15 right)."""
-        weights = spec.param_count * self.precision.weight_bytes / self.n_devices
-        states = (
-            spec.state_update_layers * batch * spec.state_values_per_layer
-            / self.n_devices * self.precision.state_bytes
+        per_request = (
+            self.state_bytes_per_request(spec)
+            + self.kv_bytes_per_request(spec, seq_len)
         )
-        kv = (
-            spec.attention_layers * batch * spec.n_heads / self.n_devices
-            * seq_len * (spec.dim_head + spec.dim_state)
-            * self.precision.kv_bytes
-        )
-        return weights + states + kv
+        return (self.weights_bytes(spec) + batch * per_request) / self.n_devices
 
 
 def build_system(kind: SystemKind, scale: str = "small", gpu: GpuSpec | None = None,

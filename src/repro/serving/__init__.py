@@ -1,0 +1,67 @@
+"""Request-level serving simulator: traces, continuous batching, SLOs.
+
+The layer between the paper's fixed-shape evaluation and production
+traffic.  A :class:`~repro.workloads.requests.Trace` of timed requests
+(seeded Poisson/Gamma arrivals, long-tailed lengths, or a replayed JSON
+file) is served by a discrete-event :class:`ServingEngine` that prices
+every prefill and decode iteration on a
+:class:`~repro.perf.system.ServingSystem`, under a pluggable batching
+policy (static, FCFS continuous, or HBM-capacity-aware).  The outcome is
+a :class:`ServingReport`: TTFT/TPOT/latency percentiles, queue depths,
+throughput, and goodput under an SLO.
+"""
+
+from repro.serving.arrivals import (
+    LengthSampler,
+    empirical_lengths,
+    fixed_lengths,
+    gamma_trace,
+    load_trace,
+    lognormal_lengths,
+    poisson_trace,
+    save_trace,
+    static_trace,
+)
+from repro.serving.costs import IterationCostModel
+from repro.serving.engine import EngineTrace, ServingEngine
+from repro.serving.metrics import (
+    RequestTiming,
+    ServingReport,
+    SloSpec,
+    percentile,
+)
+from repro.serving.schedulers import (
+    FcfsContinuousScheduler,
+    MemoryAwareScheduler,
+    MemoryModel,
+    RunningRequest,
+    Scheduler,
+    StaticBatchScheduler,
+    build_scheduler,
+)
+
+__all__ = [
+    "LengthSampler",
+    "empirical_lengths",
+    "fixed_lengths",
+    "gamma_trace",
+    "load_trace",
+    "lognormal_lengths",
+    "poisson_trace",
+    "save_trace",
+    "static_trace",
+    "IterationCostModel",
+    "EngineTrace",
+    "ServingEngine",
+    "RequestTiming",
+    "ServingReport",
+    "SloSpec",
+    "percentile",
+    "FcfsContinuousScheduler",
+    "MemoryAwareScheduler",
+    "MemoryModel",
+    "RunningRequest",
+    "Scheduler",
+    "StaticBatchScheduler",
+    "build_scheduler",
+]

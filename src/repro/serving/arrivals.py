@@ -1,0 +1,151 @@
+"""Seeded arrival processes and length distributions for serving traces.
+
+Production traffic is neither fixed-shape nor synchronized: requests
+arrive as a point process and carry their own prompt/answer lengths.  This
+module builds :class:`~repro.workloads.requests.Trace` objects from
+
+* **Poisson** arrivals (exponential gaps — the memoryless baseline),
+* **Gamma** arrivals with a coefficient of variation (``cv > 1`` models
+  bursty traffic, ``cv = 1`` degenerates to Poisson),
+* length samplers: fixed (the paper's evaluation shape), lognormal
+  (the long-tailed shape of real chat traces), or empirical pairs,
+
+plus JSON save/load so measured traces can be replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.workloads.requests import Batch, Request, TimedRequest, Trace
+
+#: draws one (input_len, output_len) pair
+LengthSampler = Callable[[np.random.Generator], tuple[int, int]]
+
+
+# ---------------------------------------------------------------------------
+# length distributions
+# ---------------------------------------------------------------------------
+
+
+def fixed_lengths(input_len: int = 1024, output_len: int = 256) -> LengthSampler:
+    """Every request has the same shape (the paper's static evaluation)."""
+    if input_len < 1 or output_len < 1:
+        raise ValueError("request lengths must be positive")
+
+    def sample(rng: np.random.Generator) -> tuple[int, int]:
+        del rng
+        return input_len, output_len
+
+    return sample
+
+
+def lognormal_lengths(
+    median_input: int = 1024,
+    median_output: int = 256,
+    sigma: float = 0.5,
+    max_input: int = 8192,
+    max_output: int = 4096,
+) -> LengthSampler:
+    """Long-tailed lengths: lognormal around the medians, clipped."""
+    if median_input < 1 or median_output < 1 or sigma <= 0:
+        raise ValueError("medians must be positive and sigma > 0")
+
+    def sample(rng: np.random.Generator) -> tuple[int, int]:
+        inp = int(np.clip(round(median_input * np.exp(rng.normal(0, sigma))),
+                          1, max_input))
+        out = int(np.clip(round(median_output * np.exp(rng.normal(0, sigma))),
+                          1, max_output))
+        return inp, out
+
+    return sample
+
+
+def empirical_lengths(pairs: Sequence[tuple[int, int]]) -> LengthSampler:
+    """Resample (input, output) pairs measured from a real trace."""
+    if not pairs:
+        raise ValueError("need at least one length pair")
+    frozen = tuple((int(i), int(o)) for i, o in pairs)
+
+    def sample(rng: np.random.Generator) -> tuple[int, int]:
+        return frozen[int(rng.integers(len(frozen)))]
+
+    return sample
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+# ---------------------------------------------------------------------------
+
+
+def _trace_from_gaps(
+    gaps: np.ndarray, lengths: LengthSampler, rng: np.random.Generator
+) -> Trace:
+    arrivals = np.cumsum(gaps)
+    requests = []
+    for i, arrival in enumerate(arrivals):
+        inp, out = lengths(rng)
+        requests.append(TimedRequest(Request(i, inp, out), float(arrival)))
+    return Trace(tuple(requests))
+
+
+def poisson_trace(
+    qps: float,
+    n_requests: int,
+    lengths: LengthSampler | None = None,
+    seed: int = 0,
+) -> Trace:
+    """A Poisson arrival process at ``qps`` requests per second."""
+    if qps <= 0 or n_requests < 1:
+        raise ValueError("qps must be positive and n_requests >= 1")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / qps, size=n_requests)
+    return _trace_from_gaps(gaps, lengths or fixed_lengths(), rng)
+
+
+def gamma_trace(
+    qps: float,
+    n_requests: int,
+    cv: float = 2.0,
+    lengths: LengthSampler | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Gamma-gap arrivals with coefficient of variation ``cv``.
+
+    Mean gap is ``1/qps``; ``cv > 1`` produces bursts separated by lulls
+    (shape ``1/cv**2 < 1``), the regime where tail latencies blow up first.
+    ``cv = 1`` is exactly Poisson.
+    """
+    if qps <= 0 or n_requests < 1 or cv <= 0:
+        raise ValueError("qps, n_requests and cv must be positive")
+    rng = np.random.default_rng(seed)
+    shape = 1.0 / cv**2
+    gaps = rng.gamma(shape, scale=cv**2 / qps, size=n_requests)
+    return _trace_from_gaps(gaps, lengths or fixed_lengths(), rng)
+
+
+def static_trace(batch: Batch) -> Trace:
+    """All requests of ``batch`` arrive at t=0 (static-batching parity)."""
+    return Trace.from_batch(batch)
+
+
+# ---------------------------------------------------------------------------
+# replay files
+# ---------------------------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: pathlib.Path | str) -> pathlib.Path:
+    """Write a trace as a JSON replay file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps({"requests": trace.to_payload()}, indent=1))
+    return path
+
+
+def load_trace(path: pathlib.Path | str) -> Trace:
+    """Reload a trace written by :func:`save_trace` (or hand-authored)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return Trace.from_payload(payload["requests"])

@@ -1,0 +1,49 @@
+"""Pricing bridge from the request-level engine to ``perf.system``.
+
+The discrete-event engine advances one decode iteration at a time; this
+module prices each iteration (and each prefill) on a
+:class:`~repro.perf.system.ServingSystem` and memoizes the results.  Two
+properties matter:
+
+* **Fidelity** — an iteration is priced at its true batch size and context
+  length through the same ``step_latency`` cost model the static
+  simulators use, so request-level and batch-level results are directly
+  comparable (and exactly equal under static batching).
+* **Speed** — contexts are anchored to the scheduler-chosen stride before
+  pricing, so a multi-thousand-iteration trace touches only a few hundred
+  distinct ``(batch, seq)`` points.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+
+
+class IterationCostModel:
+    """Memoized prefill/decode pricing on one serving system."""
+
+    def __init__(self, system: ServingSystem, spec: ModelSpec):
+        self.system = system
+        self.spec = spec
+        self._decode: dict[tuple[int, int], float] = {}
+        self._prefill: dict[tuple[int, int], float] = {}
+
+    def decode_seconds(self, batch: int, seq_len: int) -> float:
+        """One decode iteration for ``batch`` requests at context ``seq_len``."""
+        key = (int(batch), int(seq_len))
+        if key not in self._decode:
+            self._decode[key] = self.system.step_latency(self.spec, *key).total
+        return self._decode[key]
+
+    def prefill_seconds(self, batch: int, input_len: int) -> float:
+        """Prefill of ``batch`` admitted requests at ``input_len`` tokens."""
+        key = (int(batch), int(input_len))
+        if key not in self._prefill:
+            self._prefill[key] = self.system.prefill_latency(self.spec, *key)
+        return self._prefill[key]
+
+    @property
+    def n_priced_points(self) -> int:
+        """Distinct (batch, seq) points actually sent to the cost model."""
+        return len(self._decode) + len(self._prefill)

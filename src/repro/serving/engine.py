@@ -1,0 +1,175 @@
+"""Discrete-event, request-level serving engine.
+
+Advances a :class:`~repro.perf.system.ServingSystem` through a
+:class:`~repro.workloads.requests.Trace` one event at a time.  Three event
+kinds move the clock:
+
+* **arrival idle** — nothing resident: jump to the next arrival;
+* **prefill** — the scheduler admits waiting requests; their prompts are
+  processed in one compute-bound prefill that blocks the whole cluster
+  (GPU and PIM execute in a blocked fashion, Section 5.6 — there is no
+  chunked-prefill overlap in the modeled systems);
+* **decode iteration** — every resident request generates one token; the
+  iteration is priced by ``perf.system`` at the scheduler-chosen
+  (batch, context) point.
+
+The engine records per-request lifecycle timestamps (arrival, admission,
+first token, completion) and aggregates them into a
+:class:`~repro.serving.metrics.ServingReport` with TTFT/TPOT percentiles,
+queue depths, and SLO goodput.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+from repro.serving.costs import IterationCostModel
+from repro.serving.metrics import RequestTiming, ServingReport
+from repro.serving.schedulers import RunningRequest, Scheduler
+from repro.workloads.requests import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineTrace:
+    """Raw outcome of one engine run (before metric aggregation)."""
+
+    timings: tuple[RequestTiming, ...]
+    iteration_seconds: tuple[float, ...]  #: every priced decode iteration
+    prefill_seconds: tuple[float, ...]    #: every priced prefill event
+    start_s: float                        #: first arrival
+    end_s: float                          #: last completion
+    mean_queue_depth: float
+    max_queue_depth: int
+
+    @property
+    def makespan_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def report(self) -> ServingReport:
+        return ServingReport(
+            timings=self.timings,
+            makespan_s=self.makespan_s,
+            mean_queue_depth=self.mean_queue_depth,
+            max_queue_depth=self.max_queue_depth,
+            n_iterations=len(self.iteration_seconds),
+            n_prefills=len(self.prefill_seconds),
+        )
+
+
+class ServingEngine:
+    """Serves request traces on one system under one scheduling policy."""
+
+    def __init__(
+        self,
+        system: ServingSystem,
+        spec: ModelSpec,
+        scheduler: Scheduler,
+    ):
+        self.system = system
+        self.spec = spec
+        self.scheduler = scheduler
+        self.cost = IterationCostModel(system, spec)
+
+    def serve(self, trace: Trace) -> EngineTrace:
+        """Run ``trace`` to completion and return the raw event record."""
+        pending = collections.deque(trace.requests)
+        queue: list = []
+        running: list[RunningRequest] = []
+        finished: list[RunningRequest] = []
+        iterations: list[float] = []
+        prefills: list[float] = []
+
+        start = pending[0].arrival_s
+        clock = start
+        depth_area = 0.0
+        max_depth = 0
+
+        def advance(dt: float) -> None:
+            nonlocal clock, depth_area
+            depth_area += len(queue) * dt
+            clock += dt
+
+        while pending or queue or running:
+            while pending and pending[0].arrival_s <= clock:
+                queue.append(pending.popleft())
+            max_depth = max(max_depth, len(queue))
+
+            admitted_n = self.scheduler.admit(queue, running, bool(pending))
+            if admitted_n > 0:
+                admitted, queue[:admitted_n] = queue[:admitted_n], []
+                admitted_s = clock
+                advance(self.cost.prefill_seconds(
+                    len(admitted), max(t.input_len for t in admitted)
+                ))
+                prefills.append(clock - admitted_s)
+                running.extend(
+                    RunningRequest(
+                        timed=t,
+                        admitted_s=admitted_s,
+                        stride=self.scheduler.request_stride(t.output_len),
+                    )
+                    for t in admitted
+                )
+                continue
+
+            if running:
+                batch, seq = self.scheduler.iteration_shape(running)
+                dt = self.cost.decode_seconds(batch, seq)
+                advance(dt)
+                iterations.append(dt)
+                for r in running:
+                    if r.done:
+                        continue
+                    r.generated += 1
+                    if r.generated == 1:
+                        r.first_token_s = clock
+                    if r.done:
+                        r.finished_s = clock
+                        finished.append(r)
+                if self.scheduler.keep_finished:
+                    if all(r.done for r in running):
+                        running.clear()
+                else:
+                    running = [r for r in running if not r.done]
+                continue
+
+            if pending:
+                advance(pending[0].arrival_s - clock)
+                continue
+
+            raise RuntimeError(
+                f"scheduler {self.scheduler.name!r} cannot place "
+                f"{len(queue)} waiting request(s) on an idle cluster — "
+                "the head request exceeds the admission bound"
+            )
+
+        end = clock
+        timings = tuple(
+            RequestTiming(
+                request_id=r.timed.request_id,
+                input_len=r.input_len,
+                output_len=r.output_len,
+                arrival_s=r.timed.arrival_s,
+                admitted_s=r.admitted_s,
+                first_token_s=r.first_token_s,
+                finished_s=r.finished_s,
+            )
+            for r in sorted(finished, key=lambda r: r.timed.request_id)
+        )
+        span = max(end - start, 1e-12)
+        return EngineTrace(
+            timings=timings,
+            iteration_seconds=tuple(iterations),
+            prefill_seconds=tuple(prefills),
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max_depth,
+        )
+
+    def run(self, trace: Trace) -> ServingReport:
+        """Serve ``trace`` and return the aggregated report."""
+        return self.serve(trace).report()

@@ -1,0 +1,193 @@
+"""Serving-simulator trials and sweeps for the experiment engine.
+
+Registers the ``serving_slo`` trial function and the ``serving`` sweep
+(the ``latency_throughput`` figure): every evaluated system serves the
+same seeded arrival trace, and the cached result carries the full SLO
+report — TTFT/TPOT percentiles, queue depths, throughput and goodput — so
+latency-throughput curves come straight out of ``repro sweep serving``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+from repro.experiments.registry import sweep, trial
+from repro.experiments.runner import RunReport
+from repro.experiments.spec import ExperimentSpec
+from repro.models import spec_for
+from repro.perf import SystemKind, build_system
+from repro.serving.arrivals import (
+    fixed_lengths,
+    gamma_trace,
+    lognormal_lengths,
+    load_trace,
+    poisson_trace,
+)
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import SloSpec
+from repro.serving.schedulers import build_scheduler
+
+#: all five evaluated systems, in the paper's presentation order
+SERVING_SYSTEMS = tuple(kind.value for kind in SystemKind)
+
+#: QPS grid of the latency-throughput sweep: from a lightly loaded cluster
+#: to well past the GPU baseline's saturation point (small scale, Zamba2,
+#: (1024, 256) requests, 32 slots)
+SERVING_QPS_GRID = (2.0, 6.0, 10.0, 14.0)
+
+
+@trial("serving_slo")
+def serving_slo(
+    system: str,
+    qps: float,
+    model: str = "Zamba2",
+    scale: str = "small",
+    scheduler: str = "fcfs",
+    n_requests: int = 64,
+    seed: int = 0,
+    arrival: str = "poisson",
+    cv: float = 2.0,
+    length_dist: str = "fixed",
+    input_len: int = 1024,
+    output_len: int = 256,
+    sigma: float = 0.5,
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_gib: float | None = None,
+    slo_ttft_s: float = 2.0,
+    slo_tpot_s: float = 0.018,
+    trace_file: str | None = None,
+    trace_sha: str | None = None,
+) -> dict:
+    """Serve one seeded arrival trace on one system; report SLO metrics.
+
+    The trace is fully determined by ``(qps, n_requests, seed, arrival,
+    cv, length_dist, ...)``, so every system sees the identical request
+    stream and the results are directly comparable.  ``trace_file``
+    replays a recorded JSON trace instead (overrides the generator);
+    because the result cache keys on parameters, pair it with
+    ``trace_sha`` — the file's content fingerprint, baked into the cache
+    key by :func:`replay_spec` — so editing the trace file re-runs the
+    trial instead of serving the old file's metrics (a mismatch between
+    the two raises instead of answering stale).
+    """
+    spec = spec_for(model, scale)
+    serving = build_system(SystemKind(system), scale)
+
+    if trace_file is not None:
+        if trace_sha is not None and trace_fingerprint(trace_file) != trace_sha:
+            raise ValueError(
+                f"{trace_file} no longer matches trace_sha={trace_sha!r}; "
+                "rebuild the sweep with replay_spec() to re-key the cache"
+            )
+        trace = load_trace(trace_file)
+    else:
+        if length_dist == "fixed":
+            lengths = fixed_lengths(input_len, output_len)
+        elif length_dist == "lognormal":
+            lengths = lognormal_lengths(input_len, output_len, sigma)
+        else:
+            raise KeyError(
+                f"unknown length_dist {length_dist!r}; use fixed|lognormal"
+            )
+        if arrival == "poisson":
+            trace = poisson_trace(qps, n_requests, lengths, seed)
+        elif arrival == "gamma":
+            trace = gamma_trace(qps, n_requests, cv, lengths, seed)
+        else:
+            raise KeyError(f"unknown arrival {arrival!r}; use poisson|gamma")
+
+    policy = build_scheduler(
+        scheduler,
+        serving,
+        spec,
+        max_batch=max_batch,
+        step_stride=step_stride,
+        capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
+    )
+    report = ServingEngine(serving, spec, policy).run(trace)
+    return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
+
+
+def trace_fingerprint(path: str | pathlib.Path) -> str:
+    """Short content hash of a trace replay file."""
+    return hashlib.sha256(pathlib.Path(path).read_bytes()).hexdigest()[:20]
+
+
+def replay_spec(
+    trace_file: str | pathlib.Path,
+    systems: tuple[str, ...] = SERVING_SYSTEMS,
+    name: str = "serving-replay",
+    **fixed,
+) -> ExperimentSpec:
+    """A sweep replaying one recorded trace across ``systems``.
+
+    The trace file's content fingerprint becomes part of every trial's
+    cache key, so editing the file invalidates cached results instead of
+    silently serving the old workload's metrics.
+    """
+    return ExperimentSpec(
+        name=name,
+        trial_fn="serving_slo",
+        axes={"system": tuple(systems)},
+        fixed={
+            "qps": 0.0,  # unused: the replay file supplies arrivals
+            "trace_file": str(trace_file),
+            "trace_sha": trace_fingerprint(trace_file),
+            **fixed,
+        },
+    )
+
+
+@sweep("serving")
+def serving_spec(smoke: bool = False) -> ExperimentSpec:
+    """Latency-throughput sweep: all systems under rising Poisson load."""
+    if smoke:
+        return ExperimentSpec(
+            name="serving",
+            trial_fn="serving_slo",
+            axes={"system": ("GPU", "Pimba"), "qps": (8.0,)},
+            fixed={
+                "model": "Zamba2",
+                "scheduler": "fcfs",
+                "n_requests": 12,
+                "input_len": 512,
+                "output_len": 64,
+                "max_batch": 8,
+            },
+        )
+    return ExperimentSpec(
+        name="serving",
+        trial_fn="serving_slo",
+        axes={"system": SERVING_SYSTEMS, "qps": SERVING_QPS_GRID},
+    )
+
+
+def serving_assemble(report: RunReport) -> dict:
+    """Reshape to ``{system: [(qps, slo payload), ...]}`` in grid order."""
+    out: dict = {}
+    for (system, qps), value in report.mapping("system", "qps").items():
+        out.setdefault(system, []).append((qps, value))
+    return out
+
+
+def serving_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "system", "qps", "ttft p50 (s)", "ttft p99 (s)", "tpot p99 (ms)",
+        "tokens/s", "goodput (req/s)", "SLO attainment",
+    ]
+    rows = []
+    for system, points in data.items():
+        for qps, m in points:
+            rows.append([
+                system,
+                qps,
+                m["ttft_p50_s"],
+                m["ttft_p99_s"],
+                m["tpot_p99_s"] * 1e3,
+                m["throughput_tokens_per_s"],
+                m.get("goodput_rps", float("nan")),
+                m.get("slo_attainment", float("nan")),
+            ])
+    return header, rows

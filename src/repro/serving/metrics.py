@@ -1,0 +1,161 @@
+"""Per-request timings, SLOs, and aggregated serving reports.
+
+The serving literature's quality metrics, computed from the discrete-event
+engine's raw timelines:
+
+* **TTFT** — time to first token: arrival to the end of the first decode
+  iteration (queueing + prefill + one step).
+* **TPOT** — time per output token over the decode tail (first token to
+  completion, averaged over the remaining tokens).
+* **Goodput** — completed requests per second that met the SLO, the metric
+  that actually prices a serving fleet (throughput counts late answers,
+  goodput does not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestTiming:
+    """Lifecycle timestamps of one served request (all in trace seconds)."""
+
+    request_id: int
+    input_len: int
+    output_len: int
+    arrival_s: float
+    admitted_s: float      #: prefill start (left the waiting queue)
+    first_token_s: float   #: end of the first decode iteration
+    finished_s: float      #: end of the last decode iteration
+
+    def __post_init__(self) -> None:
+        if not (
+            self.arrival_s <= self.admitted_s
+            <= self.first_token_s <= self.finished_s
+        ):
+            raise ValueError("request timestamps must be ordered")
+
+    @property
+    def queue_s(self) -> float:
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Seconds per output token after the first (0 for one-token jobs)."""
+        if self.output_len <= 1:
+            return 0.0
+        return (self.finished_s - self.first_token_s) / (self.output_len - 1)
+
+    @property
+    def e2e_s(self) -> float:
+        return self.finished_s - self.arrival_s
+
+
+@dataclasses.dataclass(frozen=True)
+class SloSpec:
+    """A latency service-level objective on TTFT and TPOT."""
+
+    ttft_s: float
+    tpot_s: float
+
+    def __post_init__(self) -> None:
+        if self.ttft_s <= 0 or self.tpot_s <= 0:
+            raise ValueError("SLO bounds must be positive")
+
+    def met_by(self, timing: RequestTiming) -> bool:
+        return timing.ttft_s <= self.ttft_s and timing.tpot_s <= self.tpot_s
+
+
+def percentile(values: list[float] | tuple[float, ...], p: float) -> float:
+    """The ``p``-th percentile (0-100), linearly interpolated."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingReport:
+    """Aggregate view of one trace served on one system."""
+
+    timings: tuple[RequestTiming, ...]
+    makespan_s: float           #: first arrival to last completion
+    mean_queue_depth: float     #: time-weighted waiting-queue depth
+    max_queue_depth: int
+    n_iterations: int           #: decode iterations the engine priced
+    n_prefills: int             #: admission (prefill) events
+
+    def __post_init__(self) -> None:
+        if not self.timings:
+            raise ValueError("report must cover at least one request")
+        if self.makespan_s <= 0:
+            raise ValueError("makespan must be positive")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.timings)
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(t.output_len for t in self.timings)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def completed_per_s(self) -> float:
+        return self.n_requests / self.makespan_s
+
+    # -- latency distributions -------------------------------------------------
+
+    def ttft_percentile(self, p: float) -> float:
+        return percentile([t.ttft_s for t in self.timings], p)
+
+    def tpot_percentile(self, p: float) -> float:
+        return percentile([t.tpot_s for t in self.timings], p)
+
+    def e2e_percentile(self, p: float) -> float:
+        return percentile([t.e2e_s for t in self.timings], p)
+
+    # -- SLO-conditioned metrics ----------------------------------------------
+
+    def slo_attainment(self, slo: SloSpec) -> float:
+        """Fraction of requests that met the SLO."""
+        return sum(slo.met_by(t) for t in self.timings) / self.n_requests
+
+    def goodput(self, slo: SloSpec) -> float:
+        """SLO-meeting completions per second of makespan."""
+        return sum(slo.met_by(t) for t in self.timings) / self.makespan_s
+
+    def to_payload(self, slo: SloSpec | None = None) -> dict:
+        """JSON-serializable summary (what the ``serving_slo`` trial caches)."""
+        payload = {
+            "n_requests": self.n_requests,
+            "makespan_s": self.makespan_s,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "completed_per_s": self.completed_per_s,
+            "ttft_p50_s": self.ttft_percentile(50),
+            "ttft_p95_s": self.ttft_percentile(95),
+            "ttft_p99_s": self.ttft_percentile(99),
+            "tpot_p50_s": self.tpot_percentile(50),
+            "tpot_p99_s": self.tpot_percentile(99),
+            "e2e_p50_s": self.e2e_percentile(50),
+            "e2e_p99_s": self.e2e_percentile(99),
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "n_iterations": self.n_iterations,
+            "n_prefills": self.n_prefills,
+        }
+        if slo is not None:
+            payload["slo_ttft_s"] = slo.ttft_s
+            payload["slo_tpot_s"] = slo.tpot_s
+            payload["slo_attainment"] = self.slo_attainment(slo)
+            payload["goodput_rps"] = self.goodput(slo)
+        return payload

@@ -1,0 +1,283 @@
+"""Batching policies for the request-level serving engine.
+
+Three schedulers, in increasing order of sophistication:
+
+* :class:`StaticBatchScheduler` — wait for a full batch, run it to
+  completion, repeat.  Parity with the paper's evaluation shape (and with
+  :class:`~repro.workloads.serving.ServingSimulator`, exactly — the
+  equivalence is tested).
+* :class:`FcfsContinuousScheduler` — Orca/vLLM-style iteration-level
+  scheduling: finished requests free their slot immediately and waiting
+  requests join at any decode-iteration boundary, bounded only by a slot
+  count.
+* :class:`MemoryAwareScheduler` — iteration-level scheduling bounded by
+  HBM *capacity* instead of a slot count: each admission reserves the
+  request's full state + KV footprint, priced with the true per-value byte
+  widths of the system's storage format (``repro.quant`` bit widths via
+  the system precision).  Quantized systems (GPU+Q, Pimba) fit more
+  concurrent requests in the same HBM, which is exactly the Fig. 15
+  capacity argument at request level.
+
+A scheduler also owns the *pricing shape* of a decode iteration — which
+(batch, context) point the cost model is asked for — because that shape is
+what distinguishes padded static batching from continuous batching.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Sequence
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+from repro.workloads.requests import TimedRequest
+from repro.workloads.serving import clamped_stride
+
+
+@dataclasses.dataclass
+class RunningRequest:
+    """One request's mutable in-flight state inside the engine."""
+
+    timed: TimedRequest
+    admitted_s: float
+    stride: int               #: pricing-anchor stride (clamped per request)
+    generated: int = 0
+    first_token_s: float | None = None
+    finished_s: float | None = None
+
+    @property
+    def input_len(self) -> int:
+        return self.timed.input_len
+
+    @property
+    def output_len(self) -> int:
+        return self.timed.output_len
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.output_len
+
+    @property
+    def priced_context(self) -> int:
+        """Current context, anchored to the stride grid for pricing."""
+        return self.input_len + (self.generated // self.stride) * self.stride
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryModel:
+    """HBM residency of weights and per-request state/KV.
+
+    A thin view over the system's own footprint model
+    (:meth:`~repro.perf.system.ServingSystem.state_bytes_per_request` /
+    ``kv_bytes_per_request``), whose byte widths come from the
+    ``repro.quant`` registry's true bits-per-value — so a Pimba MX8 state
+    is half an fp16 one, an int8 state carries its 16-bit group scales,
+    and the capacity scheduler can never diverge from the Fig. 15
+    memory numbers.
+    """
+
+    spec: ModelSpec
+    system: ServingSystem
+
+    @classmethod
+    def for_system(cls, system: ServingSystem, spec: ModelSpec) -> "MemoryModel":
+        return cls(spec=spec, system=system)
+
+    @property
+    def weights_bytes(self) -> float:
+        return self.system.weights_bytes(self.spec)
+
+    def request_bytes(self, input_len: int, output_len: int) -> float:
+        """Cluster-wide bytes one request holds resident at full context.
+
+        The recurrent state is context-invariant; the KV cache is reserved
+        at the request's final length so an admitted request never has to
+        be preempted mid-decode.
+        """
+        return self.system.state_bytes_per_request(
+            self.spec
+        ) + self.system.kv_bytes_per_request(
+            self.spec, input_len + output_len
+        )
+
+
+class Scheduler(abc.ABC):
+    """Admission + pricing policy for the discrete-event engine."""
+
+    #: registry name (``--set scheduler=...`` on the CLI)
+    name: str = "?"
+    #: static batching keeps finished requests in their (padded) slots
+    keep_finished: bool = False
+
+    def __init__(self, step_stride: int = 32):
+        if step_stride < 1:
+            raise ValueError("step_stride must be positive")
+        self.step_stride = step_stride
+
+    def request_stride(self, output_len: int) -> int:
+        """Per-request pricing stride (clamped like the static simulator)."""
+        return clamped_stride(self.step_stride, output_len)
+
+    @abc.abstractmethod
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        """How many requests to admit from the front of ``queue`` now."""
+
+    def iteration_shape(
+        self, running: Sequence[RunningRequest]
+    ) -> tuple[int, int]:
+        """The (batch, context) point one decode iteration is priced at.
+
+        Continuous batching prices the iteration at the running batch size
+        and the *mean* anchored context: per-request decode cost is linear
+        in context length for every memory-bound operator, so the batch at
+        the mean context costs the same as the sum of the true per-request
+        costs.
+        """
+        contexts = [r.priced_context for r in running]
+        return len(running), int(round(sum(contexts) / len(contexts)))
+
+
+class StaticBatchScheduler(Scheduler):
+    """Fixed-size batches run to completion (the paper's serving shape)."""
+
+    name = "static"
+    keep_finished = True
+
+    def __init__(self, batch_size: int, step_stride: int = 32):
+        super().__init__(step_stride)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        if running:
+            return 0
+        if len(queue) >= self.batch_size:
+            return self.batch_size
+        if queue and not more_arrivals:
+            return len(queue)  # flush the final partial batch
+        return 0
+
+    def iteration_shape(
+        self, running: Sequence[RunningRequest]
+    ) -> tuple[int, int]:
+        """Padded-cohort pricing, identical to ``ServingSimulator.run``:
+        the whole cohort decodes at its max input length and shared decode
+        position, finished requests still occupying their slots."""
+        input_len = max(r.input_len for r in running)
+        stride = clamped_stride(
+            self.step_stride, max(r.output_len for r in running)
+        )
+        position = max(r.generated for r in running)
+        return len(running), input_len + (position // stride) * stride
+
+
+class FcfsContinuousScheduler(Scheduler):
+    """First-come-first-served continuous batching with a slot bound."""
+
+    name = "fcfs"
+
+    def __init__(self, max_batch: int = 32, step_stride: int = 32):
+        super().__init__(step_stride)
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        return min(len(queue), self.max_batch - len(running))
+
+
+class MemoryAwareScheduler(Scheduler):
+    """Continuous batching bounded by HBM state+KV capacity.
+
+    Admits the longest FCFS prefix whose reserved footprint (weights plus
+    every resident request at its full final context) fits in
+    ``capacity_bytes``, additionally capped by ``max_batch`` slots.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        memory: MemoryModel,
+        capacity_bytes: float,
+        max_batch: int = 512,
+        step_stride: int = 32,
+    ):
+        super().__init__(step_stride)
+        if capacity_bytes <= memory.weights_bytes:
+            raise ValueError("capacity does not even hold the weights")
+        self.memory = memory
+        self.capacity_bytes = capacity_bytes
+        self.max_batch = max_batch
+
+    def _reserved(self, running: Sequence[RunningRequest]) -> float:
+        return self.memory.weights_bytes + sum(
+            self.memory.request_bytes(r.input_len, r.output_len)
+            for r in running
+        )
+
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        free = self.capacity_bytes - self._reserved(running)
+        slots = self.max_batch - len(running)
+        n = 0
+        for request in queue:
+            need = self.memory.request_bytes(
+                request.input_len, request.output_len
+            )
+            if n >= slots or need > free:
+                break
+            free -= need
+            n += 1
+        return n
+
+
+def build_scheduler(
+    name: str,
+    system: ServingSystem,
+    spec: ModelSpec,
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_bytes: float | None = None,
+) -> Scheduler:
+    """Construct a scheduler by registry name.
+
+    ``static`` uses ``max_batch`` as its fixed batch size; ``memory``
+    defaults ``capacity_bytes`` to the system's aggregate HBM capacity.
+    """
+    if name == "static":
+        return StaticBatchScheduler(max_batch, step_stride)
+    if name == "fcfs":
+        return FcfsContinuousScheduler(max_batch, step_stride)
+    if name == "memory":
+        return MemoryAwareScheduler(
+            MemoryModel.for_system(system, spec),
+            capacity_bytes if capacity_bytes is not None
+            else system.capacity_bytes,
+            max_batch=max_batch,
+            step_stride=step_stride,
+        )
+    raise KeyError(
+        f"unknown scheduler {name!r}; available: static, fcfs, memory"
+    )

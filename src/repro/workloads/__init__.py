@@ -1,14 +1,29 @@
 """Serving workload generation and the batched serving loop."""
 
-from repro.workloads.requests import Batch, Request, sampled_batch, uniform_batch
-from repro.workloads.serving import ServingResult, ServingSimulator, generate_tokens
+from repro.workloads.requests import (
+    Batch,
+    Request,
+    TimedRequest,
+    Trace,
+    sampled_batch,
+    uniform_batch,
+)
+from repro.workloads.serving import (
+    ServingResult,
+    ServingSimulator,
+    clamped_stride,
+    generate_tokens,
+)
 
 __all__ = [
     "Batch",
     "Request",
+    "TimedRequest",
+    "Trace",
     "sampled_batch",
     "uniform_batch",
     "ServingResult",
     "ServingSimulator",
+    "clamped_stride",
     "generate_tokens",
 ]

@@ -56,6 +56,97 @@ class Batch:
         return sum(r.output_len for r in self.requests)
 
 
+@dataclasses.dataclass(frozen=True)
+class TimedRequest:
+    """A request stamped with its arrival time (request-level serving)."""
+
+    request: Request
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def input_len(self) -> int:
+        return self.request.input_len
+
+    @property
+    def output_len(self) -> int:
+        return self.request.output_len
+
+
+@dataclasses.dataclass(frozen=True)
+class Trace:
+    """A stream of timed requests, ordered by arrival.
+
+    The request-level analogue of :class:`Batch`: where a batch is the
+    paper's fixed-shape evaluation unit, a trace is what a serving cluster
+    actually sees — requests arriving over time, each with its own lengths.
+    """
+
+    requests: tuple[TimedRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("trace must contain at least one request")
+        arrivals = [r.arrival_s for r in self.requests]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("trace arrivals must be non-decreasing")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_s(self) -> float:
+        """Time span between the first and the last arrival."""
+        return self.requests[-1].arrival_s - self.requests[0].arrival_s
+
+    @property
+    def offered_qps(self) -> float:
+        """Average arrival rate over the trace's span (0 for a burst)."""
+        if self.duration_s == 0:
+            return 0.0
+        return (self.n_requests - 1) / self.duration_s
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_len for r in self.requests)
+
+    @classmethod
+    def from_batch(cls, batch: Batch, arrival_s: float = 0.0) -> "Trace":
+        """A burst trace: every request of ``batch`` arrives at once."""
+        return cls(tuple(TimedRequest(r, arrival_s) for r in batch.requests))
+
+    def to_payload(self) -> list[dict]:
+        """JSON-serializable form (see :func:`repro.serving.save_trace`)."""
+        return [
+            {
+                "request_id": r.request_id,
+                "input_len": r.input_len,
+                "output_len": r.output_len,
+                "arrival_s": r.arrival_s,
+            }
+            for r in self.requests
+        ]
+
+    @classmethod
+    def from_payload(cls, payload: list[dict]) -> "Trace":
+        return cls(tuple(
+            TimedRequest(
+                Request(int(d["request_id"]), int(d["input_len"]),
+                        int(d["output_len"])),
+                float(d["arrival_s"]),
+            )
+            for d in payload
+        ))
+
+
 def uniform_batch(batch_size: int, input_len: int = 2048, output_len: int = 2048) -> Batch:
     """The paper's fixed-shape batch."""
     return Batch(tuple(

@@ -44,6 +44,21 @@ class ServingResult:
         return self.generated_tokens / self.decode_seconds
 
 
+def clamped_stride(step_stride: int, output_len: int) -> int:
+    """Pricing stride for a decode of ``output_len`` tokens.
+
+    A stride wider than the decode itself would collapse the anchor grid to
+    the single leading point, pricing every step at the context of the
+    first; clamp so the grid always has at least a start and a midpoint
+    anchor.  Shared by :class:`ServingSimulator` and the request-level
+    engine (:mod:`repro.serving`) so static batching prices identically on
+    both paths.
+    """
+    if step_stride < 1:
+        raise ValueError("step_stride must be positive")
+    return min(step_stride, max(1, output_len // 2))
+
+
 class ServingSimulator:
     """Prices a whole batch on a serving system, step by step."""
 
@@ -54,11 +69,10 @@ class ServingSimulator:
     def run(self, batch: Batch, step_stride: int = 32) -> ServingResult:
         """Serve ``batch``; decode steps are priced every ``step_stride``
         tokens and interpolated (attention cost varies smoothly)."""
-        if step_stride < 1:
-            raise ValueError("step_stride must be positive")
         b = batch.size
         input_len = batch.max_input_len
         output_len = batch.max_output_len
+        step_stride = clamped_stride(step_stride, output_len)
 
         prefill = self.system.prefill_latency(self.spec, b, input_len)
         steps: list[float] = []

@@ -156,6 +156,54 @@ class TestFig14Energy:
         assert bd.total == pytest.approx(sum(bd.joules_by_category.values()))
 
 
+class TestSystemParity:
+    """Every system produces finite, positive, well-formed step costs for
+    every model spec and batch size (previously only covered indirectly
+    through the figure benchmarks)."""
+
+    @pytest.mark.parametrize("kind", list(SystemKind))
+    @pytest.mark.parametrize("model", ["RetNet", "GLA", "HGRN2", "Mamba-2",
+                                       "Zamba2", "OPT"])
+    @pytest.mark.parametrize("batch", [1, 32, 128])
+    def test_step_costs_finite_and_positive(self, kind, model, batch):
+        import math
+
+        spec = spec_for(model)
+        system = build_system(kind, "small")
+        step = system.step_latency(spec, batch, 2048)
+        assert math.isfinite(step.total) and step.total > 0
+        for op, seconds in step.seconds_by_kind.items():
+            assert math.isfinite(seconds) and seconds > 0, (kind, op)
+            assert op in step.placements
+        assert step.total == pytest.approx(sum(step.seconds_by_kind.values()))
+
+        prefill = system.prefill_latency(spec, batch, 2048)
+        assert math.isfinite(prefill) and prefill > 0
+        memory = system.memory_usage(spec, batch, 2048)
+        assert math.isfinite(memory) and memory > 0
+
+    @pytest.mark.parametrize("kind", list(SystemKind))
+    def test_large_scale_parity(self, kind):
+        import math
+
+        spec = spec_for("Zamba2", "large")
+        step = build_system(kind, "large").step_latency(spec, 64, 3072)
+        assert math.isfinite(step.total) and step.total > 0
+        assert OpKind.COMMUNICATION in step.seconds_by_kind
+
+    def test_offloaded_ops_are_placed_on_pim(self):
+        spec = spec_for("Zamba2")
+        step = build_system(SystemKind.PIMBA, "small").step_latency(
+            spec, 32, 2048
+        )
+        assert step.placements[OpKind.STATE_UPDATE] == "PIM"
+        assert step.placements[OpKind.ATTENTION] == "PIM"
+        gpu_step = build_system(SystemKind.GPU, "small").step_latency(
+            spec, 32, 2048
+        )
+        assert gpu_step.placements[OpKind.STATE_UPDATE] != "PIM"
+
+
 class TestMemoryUsage:
     def test_fig1a_mamba2_uses_less_memory_than_transformer(self):
         sys = build_system(SystemKind.GPU, "small")

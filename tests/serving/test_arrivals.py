@@ -1,0 +1,102 @@
+"""Arrival processes, length distributions, and trace replay files."""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import (
+    empirical_lengths,
+    fixed_lengths,
+    gamma_trace,
+    load_trace,
+    lognormal_lengths,
+    poisson_trace,
+    save_trace,
+    static_trace,
+)
+from repro.workloads.requests import Request, TimedRequest, Trace, uniform_batch
+
+
+class TestLengthSamplers:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        assert fixed_lengths(100, 7)(rng) == (100, 7)
+
+    def test_lognormal_bounds_and_median(self):
+        rng = np.random.default_rng(0)
+        sample = lognormal_lengths(1024, 256, sigma=0.5)
+        pairs = [sample(rng) for _ in range(500)]
+        inputs = [i for i, _ in pairs]
+        assert all(1 <= i <= 8192 for i in inputs)
+        assert 700 < float(np.median(inputs)) < 1500
+        # Long tail: spread well beyond the median.
+        assert max(inputs) > 2 * min(inputs)
+
+    def test_empirical_resamples_only_given_pairs(self):
+        rng = np.random.default_rng(3)
+        sample = empirical_lengths([(10, 1), (20, 2)])
+        seen = {sample(rng) for _ in range(50)}
+        assert seen == {(10, 1), (20, 2)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fixed_lengths(0, 1)
+        with pytest.raises(ValueError):
+            empirical_lengths([])
+
+
+class TestArrivalProcesses:
+    def test_poisson_reproducible_and_rate(self):
+        a = poisson_trace(10.0, 400, seed=7)
+        b = poisson_trace(10.0, 400, seed=7)
+        assert a == b
+        assert a.n_requests == 400
+        assert a.offered_qps == pytest.approx(10.0, rel=0.2)
+
+    def test_seeds_differ(self):
+        assert poisson_trace(5.0, 50, seed=0) != poisson_trace(5.0, 50, seed=1)
+
+    def test_gamma_cv_one_matches_poisson_moments(self):
+        g = gamma_trace(8.0, 500, cv=1.0, seed=2)
+        assert g.offered_qps == pytest.approx(8.0, rel=0.2)
+
+    def test_gamma_burstier_with_higher_cv(self):
+        def gap_std(trace):
+            arrivals = [r.arrival_s for r in trace.requests]
+            return float(np.std(np.diff(arrivals)))
+
+        calm = gamma_trace(8.0, 800, cv=0.5, seed=4)
+        bursty = gamma_trace(8.0, 800, cv=3.0, seed=4)
+        assert gap_std(bursty) > 2 * gap_std(calm)
+
+    def test_static_trace_is_a_burst(self):
+        trace = static_trace(uniform_batch(8, 64, 16))
+        assert trace.n_requests == 8
+        assert trace.duration_s == 0.0
+        assert trace.offered_qps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 10)
+        with pytest.raises(ValueError):
+            gamma_trace(1.0, 10, cv=0.0)
+
+
+class TestTraceReplay:
+    def test_json_roundtrip(self, tmp_path):
+        trace = poisson_trace(4.0, 25, lognormal_lengths(512, 128), seed=11)
+        path = save_trace(trace, tmp_path / "trace.json")
+        assert load_trace(path) == trace
+
+    def test_hand_authored_payload(self):
+        trace = Trace.from_payload([
+            {"request_id": 0, "input_len": 5, "output_len": 2, "arrival_s": 0.0},
+            {"request_id": 1, "input_len": 6, "output_len": 3, "arrival_s": 1.5},
+        ])
+        assert trace.requests[1] == TimedRequest(Request(1, 6, 3), 1.5)
+
+    def test_unordered_arrivals_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Trace((
+                TimedRequest(Request(0, 1, 1), 2.0),
+                TimedRequest(Request(1, 1, 1), 1.0),
+            ))

@@ -1,0 +1,192 @@
+"""Discrete-event engine: static-batching parity, continuous batching,
+memory-aware admission, and lifecycle invariants."""
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import (
+    FcfsContinuousScheduler,
+    MemoryAwareScheduler,
+    MemoryModel,
+    ServingEngine,
+    StaticBatchScheduler,
+    build_scheduler,
+    poisson_trace,
+    static_trace,
+)
+from repro.workloads import ServingSimulator, sampled_batch, uniform_batch
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def zamba_spec():
+    return spec_for("Zamba2")
+
+
+def engine_for(kind, spec, scheduler):
+    return ServingEngine(build_system(kind, "small"), spec, scheduler)
+
+
+class TestStaticEquivalence:
+    """The static scheduler reproduces ServingSimulator numbers exactly."""
+
+    @pytest.mark.parametrize("kind", [SystemKind.GPU, SystemKind.PIMBA])
+    @pytest.mark.parametrize("stride", [1, 32, 10**6])
+    def test_uniform_batch_exact(self, kind, stride, zamba_spec):
+        batch = uniform_batch(16, 512, 128)
+        system = build_system(kind, "small")
+        sim = ServingSimulator(system, zamba_spec).run(batch, step_stride=stride)
+        run = ServingEngine(
+            system, zamba_spec, StaticBatchScheduler(16, step_stride=stride)
+        ).serve(static_trace(batch))
+        assert run.iteration_seconds == sim.step_seconds
+        assert run.prefill_seconds == (sim.prefill_seconds,)
+        assert run.makespan_s == pytest.approx(sim.total_seconds, abs=0, rel=1e-12)
+
+    def test_ragged_batch_exact(self, zamba_spec):
+        """Padded-cohort semantics survive per-request length variation."""
+        batch = sampled_batch(12, np.random.default_rng(5))
+        system = build_system(SystemKind.PIMBA, "small")
+        sim = ServingSimulator(system, zamba_spec).run(batch)
+        run = ServingEngine(
+            system, zamba_spec, StaticBatchScheduler(12)
+        ).serve(static_trace(batch))
+        assert run.iteration_seconds == sim.step_seconds
+        # Every request completes at its own length, not the padded one.
+        by_id = {t.request_id: t for t in run.timings}
+        for request in batch.requests:
+            assert by_id[request.request_id].output_len == request.output_len
+
+    def test_multiple_cohorts_from_queue(self, zamba_spec):
+        """17 requests at batch 8 -> three cohorts (8 + 8 + 1 flush)."""
+        trace = poisson_trace(100.0, 17, seed=3)
+        run = engine_for(
+            SystemKind.GPU, zamba_spec, StaticBatchScheduler(8)
+        ).serve(trace)
+        assert len(run.prefill_seconds) == 3
+        assert len(run.timings) == 17
+
+
+class TestContinuousBatching:
+    def test_all_requests_complete_with_ordered_timestamps(self, zamba_spec):
+        trace = poisson_trace(8.0, 40, seed=0)
+        report = engine_for(
+            SystemKind.PIMBA, zamba_spec, FcfsContinuousScheduler(8)
+        ).run(trace)
+        assert report.n_requests == 40
+        for t in report.timings:
+            assert t.arrival_s <= t.admitted_s <= t.first_token_s <= t.finished_s
+            assert t.tpot_s > 0
+
+    def test_iteration_level_admission_beats_static_ttft(self, zamba_spec):
+        """Continuous batching admits at iteration boundaries; static waits
+        for a full batch — its median TTFT must be strictly worse under a
+        trickle of arrivals."""
+        trace = poisson_trace(4.0, 24, seed=1)
+        continuous = engine_for(
+            SystemKind.GPU, zamba_spec, FcfsContinuousScheduler(8)
+        ).run(trace)
+        static = engine_for(
+            SystemKind.GPU, zamba_spec, StaticBatchScheduler(8)
+        ).run(trace)
+        assert continuous.ttft_percentile(50) < static.ttft_percentile(50)
+
+    def test_slot_bound_respected(self, zamba_spec):
+        """With one slot, requests are served strictly one at a time."""
+        trace = poisson_trace(50.0, 6, seed=2)
+        run = engine_for(
+            SystemKind.GPU, zamba_spec, FcfsContinuousScheduler(1)
+        ).serve(trace)
+        # One prefill per request, and FCFS completion order.
+        assert len(run.prefill_seconds) == 6
+        finishes = [t.finished_s for t in run.timings]
+        assert finishes == sorted(finishes)
+
+    def test_saturation_raises_tail_latency(self, zamba_spec):
+        """Offering far more load than the slot count can drain must grow
+        both the queue and the TTFT tail."""
+        light = engine_for(
+            SystemKind.GPU, zamba_spec, FcfsContinuousScheduler(8)
+        ).run(poisson_trace(1.0, 48, seed=0))
+        heavy = engine_for(
+            SystemKind.GPU, zamba_spec, FcfsContinuousScheduler(8)
+        ).run(poisson_trace(20.0, 48, seed=0))
+        assert heavy.ttft_percentile(99) > light.ttft_percentile(99)
+        assert heavy.mean_queue_depth > light.mean_queue_depth
+
+
+class TestMemoryAwareScheduling:
+    def test_capacity_limits_concurrency(self, zamba_spec):
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        per_request = memory.request_bytes(1024, 256)
+        trace = poisson_trace(100.0, 12, seed=0)
+
+        def max_resident(capacity_requests):
+            scheduler = MemoryAwareScheduler(
+                memory,
+                memory.weights_bytes + per_request * capacity_requests,
+            )
+            run = ServingEngine(system, zamba_spec, scheduler).serve(trace)
+            return max(
+                sum(
+                    1 for t in run.timings
+                    if t.admitted_s <= moment < t.finished_s
+                )
+                for moment in (t.first_token_s for t in run.timings)
+            )
+
+        assert max_resident(2) <= 2
+        assert max_resident(8) > 2
+
+    def test_quantized_state_admits_more(self, zamba_spec):
+        """Pimba's MX8 state/KV halves the footprint -> more residency in
+        the same HBM (the request-level Fig. 15 capacity argument)."""
+        gpu = MemoryModel.for_system(
+            build_system(SystemKind.GPU, "small"), zamba_spec
+        )
+        pimba = MemoryModel.for_system(
+            build_system(SystemKind.PIMBA, "small"), zamba_spec
+        )
+        assert pimba.request_bytes(1024, 256) == pytest.approx(
+            gpu.request_bytes(1024, 256) / 2
+        )
+
+    def test_oversized_request_raises(self, zamba_spec):
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        scheduler = MemoryAwareScheduler(
+            memory, memory.weights_bytes + 1.0  # room for nothing
+        )
+        with pytest.raises(RuntimeError, match="cannot place"):
+            ServingEngine(system, zamba_spec, scheduler).serve(
+                poisson_trace(1.0, 2, seed=0)
+            )
+
+    def test_capacity_must_hold_weights(self, zamba_spec):
+        memory = MemoryModel.for_system(
+            build_system(SystemKind.GPU, "small"), zamba_spec
+        )
+        with pytest.raises(ValueError, match="weights"):
+            MemoryAwareScheduler(memory, memory.weights_bytes / 2)
+
+
+class TestBuildScheduler:
+    def test_names(self, zamba_spec):
+        system = build_system(SystemKind.PIMBA, "small")
+        for name, cls in [
+            ("static", StaticBatchScheduler),
+            ("fcfs", FcfsContinuousScheduler),
+            ("memory", MemoryAwareScheduler),
+        ]:
+            assert isinstance(
+                build_scheduler(name, system, zamba_spec), cls
+            )
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            build_scheduler("lifo", system, zamba_spec)
+
+    def test_memory_default_capacity_is_cluster_hbm(self, zamba_spec):
+        system = build_system(SystemKind.PIMBA, "small")
+        scheduler = build_scheduler("memory", system, zamba_spec)
+        assert scheduler.capacity_bytes == system.capacity_bytes

@@ -1,0 +1,89 @@
+"""Serving trials/sweeps: engine integration and replay-file caching."""
+
+import pytest
+
+from repro.experiments import Runner
+from repro.serving.arrivals import poisson_trace, save_trace
+from repro.serving.experiments import (
+    replay_spec,
+    serving_assemble,
+    serving_render,
+    serving_slo,
+    serving_spec,
+    trace_fingerprint,
+)
+
+
+class TestServingSloTrial:
+    def test_payload_shape(self):
+        payload = serving_slo(
+            "Pimba", 8.0, n_requests=8, input_len=256, output_len=32,
+            max_batch=4,
+        )
+        assert payload["n_requests"] == 8
+        assert payload["goodput_rps"] <= payload["completed_per_s"]
+        assert payload["ttft_p50_s"] <= payload["ttft_p99_s"]
+
+    def test_unknown_knobs_rejected(self):
+        with pytest.raises(KeyError, match="arrival"):
+            serving_slo("GPU", 1.0, n_requests=2, arrival="uniform")
+        with pytest.raises(KeyError, match="length_dist"):
+            serving_slo("GPU", 1.0, n_requests=2, length_dist="zipf")
+
+    def test_scheduler_axis(self):
+        for scheduler in ("static", "fcfs", "memory"):
+            payload = serving_slo(
+                "GPU", 20.0, scheduler=scheduler, n_requests=6,
+                input_len=128, output_len=16, max_batch=2,
+            )
+            assert payload["n_requests"] == 6
+
+
+class TestSweepSpecs:
+    def test_smoke_is_tiny_and_full_covers_all_systems(self):
+        assert len(serving_spec(smoke=True)) == 2
+        full = serving_spec()
+        assert len(full) == 20
+        assert set(full.axes["system"]) == {
+            "GPU", "GPU+Q", "GPU+PIM", "Pimba", "NeuPIMs",
+        }
+
+    def test_assemble_and_render(self):
+        report = Runner(use_cache=False, max_workers=1).run(
+            serving_spec(smoke=True)
+        )
+        data = serving_assemble(report)
+        assert set(data) == {"GPU", "Pimba"}
+        header, rows = serving_render(data)
+        assert header[0] == "system" and len(rows) == 2
+
+
+class TestTraceReplayCaching:
+    def test_replay_spec_keys_cache_on_content(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(poisson_trace(20.0, 4, seed=0), path)
+        fixed = dict(n_requests=4, input_len=64, output_len=8, max_batch=2)
+        spec_a = replay_spec(path, systems=("GPU",), **fixed)
+        assert spec_a.fixed["trace_sha"] == trace_fingerprint(path)
+
+        save_trace(poisson_trace(20.0, 4, seed=1), path)
+        spec_b = replay_spec(path, systems=("GPU",), **fixed)
+        keys = [next(s.trials()).key for s in (spec_a, spec_b)]
+        assert keys[0] != keys[1]  # edited file -> different cache identity
+
+    def test_stale_sha_raises_instead_of_serving_old_numbers(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(poisson_trace(20.0, 4, seed=0), path)
+        sha = trace_fingerprint(path)
+        save_trace(poisson_trace(20.0, 4, seed=1), path)
+        with pytest.raises(ValueError, match="no longer matches"):
+            serving_slo("GPU", 0.0, trace_file=str(path), trace_sha=sha)
+
+    def test_replay_runs_end_to_end(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(poisson_trace(20.0, 5, seed=0), path)
+        spec = replay_spec(path, systems=("GPU", "Pimba"), max_batch=4)
+        report = Runner(cache_dir=tmp_path / "cache", max_workers=1).run(spec)
+        by_system = report.mapping("system")
+        assert by_system["GPU"]["n_requests"] == 5
+        assert by_system["Pimba"]["n_requests"] == 5

@@ -1,0 +1,109 @@
+"""SLO metrics: timings, percentiles, goodput, report payloads."""
+
+import pytest
+
+from repro.serving.metrics import (
+    RequestTiming,
+    ServingReport,
+    SloSpec,
+    percentile,
+)
+
+
+def timing(rid=0, arrival=0.0, admitted=0.5, first=1.0, finished=3.0,
+           output_len=5):
+    return RequestTiming(
+        request_id=rid,
+        input_len=100,
+        output_len=output_len,
+        arrival_s=arrival,
+        admitted_s=admitted,
+        first_token_s=first,
+        finished_s=finished,
+    )
+
+
+class TestRequestTiming:
+    def test_derived_metrics(self):
+        t = timing()
+        assert t.queue_s == 0.5
+        assert t.ttft_s == 1.0
+        assert t.tpot_s == pytest.approx(2.0 / 4)
+        assert t.e2e_s == 3.0
+
+    def test_single_token_tpot_is_zero(self):
+        assert timing(output_len=1).tpot_s == 0.0
+
+    def test_disordered_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="ordered"):
+            timing(admitted=-1.0)
+        with pytest.raises(ValueError, match="ordered"):
+            timing(first=5.0, finished=4.0)
+
+
+class TestSlo:
+    def test_met_by(self):
+        slo = SloSpec(ttft_s=1.5, tpot_s=0.6)
+        assert slo.met_by(timing())                 # ttft 1.0, tpot 0.5
+        assert not slo.met_by(timing(first=2.0))    # ttft 2.0
+        assert not SloSpec(1.5, 0.4).met_by(timing())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloSpec(0.0, 1.0)
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.5
+        assert percentile(values, 100) == 4.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestServingReport:
+    def make_report(self):
+        timings = (
+            timing(rid=0, first=1.0, finished=3.0),                 # meets
+            timing(rid=1, arrival=1.0, admitted=1.2, first=4.0,
+                   finished=6.0),                                   # ttft 3.0
+        )
+        return ServingReport(
+            timings=timings,
+            makespan_s=6.0,
+            mean_queue_depth=0.5,
+            max_queue_depth=2,
+            n_iterations=10,
+            n_prefills=2,
+        )
+
+    def test_aggregates(self):
+        report = self.make_report()
+        assert report.n_requests == 2
+        assert report.generated_tokens == 10
+        assert report.throughput_tokens_per_s == pytest.approx(10 / 6)
+        assert report.completed_per_s == pytest.approx(2 / 6)
+        assert report.ttft_percentile(50) == pytest.approx(2.0)
+
+    def test_goodput_counts_only_slo_meeting_requests(self):
+        report = self.make_report()
+        slo = SloSpec(ttft_s=1.5, tpot_s=0.6)
+        assert report.slo_attainment(slo) == 0.5
+        assert report.goodput(slo) == pytest.approx(1 / 6)
+        generous = SloSpec(ttft_s=10.0, tpot_s=10.0)
+        assert report.goodput(generous) == report.completed_per_s
+
+    def test_payload_roundtrips_to_json_scalars(self):
+        import json
+
+        payload = self.make_report().to_payload(SloSpec(1.5, 0.6))
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["goodput_rps"] == pytest.approx(1 / 6)
+        assert payload["slo_attainment"] == 0.5
+        bare = self.make_report().to_payload()
+        assert "goodput_rps" not in bare
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingReport((), 1.0, 0.0, 0, 0, 0)

@@ -5,8 +5,15 @@ import pytest
 
 from repro.models import Family, build_tiny, spec_for
 from repro.perf.system import SystemKind, build_system
-from repro.workloads.requests import Batch, Request, sampled_batch, uniform_batch
-from repro.workloads.serving import ServingSimulator, generate_tokens
+from repro.workloads.requests import (
+    Batch,
+    Request,
+    TimedRequest,
+    Trace,
+    sampled_batch,
+    uniform_batch,
+)
+from repro.workloads.serving import ServingSimulator, clamped_stride, generate_tokens
 
 
 class TestRequests:
@@ -28,6 +35,34 @@ class TestRequests:
         a = sampled_batch(16, np.random.default_rng(1))
         b = sampled_batch(16, np.random.default_rng(1))
         assert a == b
+
+
+class TestTimedRequests:
+    def test_trace_from_batch_and_properties(self):
+        trace = Trace.from_batch(uniform_batch(4, 128, 32))
+        assert trace.n_requests == 4
+        assert trace.duration_s == 0.0
+        assert trace.total_output_tokens == 4 * 32
+        assert trace.requests[0].input_len == 128
+
+    def test_offered_qps(self):
+        trace = Trace(tuple(
+            TimedRequest(Request(i, 8, 8), float(i)) for i in range(5)
+        ))
+        assert trace.duration_s == 4.0
+        assert trace.offered_qps == 1.0
+
+    def test_payload_roundtrip(self):
+        trace = Trace(tuple(
+            TimedRequest(Request(i, 8 + i, 4), 0.25 * i) for i in range(3)
+        ))
+        assert Trace.from_payload(trace.to_payload()) == trace
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedRequest(Request(0, 1, 1), -0.1)
+        with pytest.raises(ValueError):
+            Trace(())
 
 
 class TestServingSimulator:
@@ -55,6 +90,26 @@ class TestServingSimulator:
     def test_bad_checkpoint_rejected(self, sim):
         with pytest.raises(ValueError):
             sim.latency_curve(uniform_batch(4, 64, 32), (64,))
+
+    def test_oversized_stride_clamps_to_decode_range(self, sim):
+        """Regression: a stride wider than the decode used to price every
+        step at the first step's context; it now clamps so the anchor
+        grid keeps a start and a midpoint."""
+        batch = uniform_batch(8, 512, 64)
+        wide = sim.run(batch, step_stride=10**6)
+        clamped = sim.run(batch, step_stride=32)   # = clamped_stride value
+        assert clamped_stride(10**6, 64) == 32
+        assert len(wide.step_seconds) == 64
+        assert wide.step_seconds == clamped.step_seconds
+        # The midpoint anchor prices the later half at a longer context
+        # for attention-bearing models (Zamba2 fixture).
+        assert wide.step_seconds[-1] > wide.step_seconds[0]
+
+    def test_stride_still_validated(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(uniform_batch(2, 16, 8), step_stride=0)
+        with pytest.raises(ValueError):
+            clamped_stride(0, 8)
 
     def test_su_llm_steps_constant(self):
         sim = ServingSimulator(
