@@ -1,0 +1,102 @@
+"""Cluster study: how many replicas does an SLO need, and which router?
+
+A saturating arrival trace is served by router-fronted fleets of 1-8
+Pimba replicas under each routing policy (round-robin, least-loaded,
+prefix/session affinity).  The study prints goodput, TTFT tails, and
+load imbalance per (router, replicas) point — the capacity-planning
+view: find the smallest fleet whose goodput matches the offered load,
+and see what a load-blind router costs you on the way there.
+
+All grids run through the ``repro.experiments`` engine (cached reruns),
+and the shipped trace corpus can replace the synthetic load.
+
+Run:  python examples/cluster_study.py [--qps N] [--trace bursty|steady]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentSpec, Runner
+from repro.serving.corpus import SHIPPED_TRACES, trace_path
+from repro.serving.experiments import trace_fingerprint
+from repro.serving.routing import ROUTER_NAMES
+
+
+def cluster_axes(args: argparse.Namespace) -> ExperimentSpec:
+    fixed: dict = dict(
+        system=args.system,
+        qps=args.qps,
+        n_requests=args.n_requests,
+        input_len=512,
+        output_len=64,
+        max_batch=args.max_batch,
+        scheduler=args.scheduler,
+    )
+    if args.trace is not None:
+        fixed.update(
+            trace_file=str(trace_path(args.trace)),
+            trace_sha=trace_fingerprint(trace_path(args.trace)),
+        )
+    return ExperimentSpec(
+        name="cluster-study",
+        trial_fn="cluster_slo",
+        axes={
+            "router": ROUTER_NAMES,
+            "replicas": tuple(args.replicas),
+        },
+        fixed=fixed,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--system", default="Pimba")
+    parser.add_argument("--scheduler", default="fcfs")
+    parser.add_argument("--qps", type=float, default=64.0)
+    parser.add_argument("--n-requests", type=int, default=128)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--replicas", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+    parser.add_argument("--trace", choices=sorted(SHIPPED_TRACES),
+                        default=None,
+                        help="replay a shipped corpus trace instead of "
+                             "synthetic Poisson arrivals")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    runner = Runner(max_workers=args.jobs, use_cache=not args.no_cache)
+    load = (f"shipped '{args.trace}' trace" if args.trace
+            else f"Poisson {args.qps:g} qps")
+    print(f"{args.system} x {max(args.replicas)} replicas, {load}, "
+          f"{args.scheduler} scheduling, SLO: TTFT<=2s TPOT<=18ms\n")
+
+    results = runner.run(cluster_axes(args)).mapping("router", "replicas")
+
+    header = (f"{'router':13s} {'repl':>4s} {'goodput':>8s} {'SLO %':>6s} "
+              f"{'ttft p99':>9s} {'tpot p99':>9s} {'imbalance':>9s}")
+    print(header)
+    for router in ROUTER_NAMES:
+        for n in args.replicas:
+            m = results[(router, n)]
+            print(f"{router:13s} {n:4d} "
+                  f"{m['goodput_rps']:8.2f} "
+                  f"{100 * m['slo_attainment']:5.1f}% "
+                  f"{m['ttft_p99_s']:8.3f}s "
+                  f"{1e3 * m['tpot_p99_s']:7.2f}ms "
+                  f"{m['load_imbalance']:9.2f}")
+        print()
+
+    for router in ROUTER_NAMES:
+        curve = [results[(router, n)]["goodput_rps"] for n in args.replicas]
+        enough = next(
+            (
+                n for n, g in zip(args.replicas, curve)
+                if g >= 0.95 * max(curve)
+            ),
+            max(args.replicas),
+        )
+        print(f"{router}: ~{enough} replica(s) reach 95% of peak goodput")
+
+
+if __name__ == "__main__":
+    main()

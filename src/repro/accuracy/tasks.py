@@ -56,8 +56,8 @@ TABLE2_TASKS = (
 class TaskItem:
     """One multiple-choice item."""
 
-    context: np.ndarray            #: (context_len,)
-    choices: np.ndarray            #: (n_choices, continuation_len)
+    context: np.ndarray  #: (context_len,)
+    choices: np.ndarray  #: (n_choices, continuation_len)
     answer: int
 
 

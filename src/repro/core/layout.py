@@ -126,7 +126,7 @@ class KvCacheLayout:
 class BankAssignment:
     """How many heads' chunk groups land on each bank of a device."""
 
-    total_heads: int          #: batch x heads state instances
+    total_heads: int  #: batch x heads state instances
     pseudo_channels: int
     banks_per_channel: int
 

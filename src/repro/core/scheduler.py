@@ -36,13 +36,13 @@ RESULT_BYTES_PER_VALUE = 2
 class SweepTiming:
     """Bus-cycle timing of one PIM sweep on one pseudo-channel."""
 
-    bus_cycles: int           #: total schedule length
-    rows: int                 #: DRAM rows activated per bank
-    comp_cycles: int          #: cycles spent on COMP commands
-    act_cycles: int           #: activation phases (ACT4 trains + tRCD)
-    precharge_cycles: int     #: PRECHARGES windows
-    exposed_io_cycles: int    #: REG_WRITE/RESULT_READ not hidden in shadows
-    hidden_io_cycles: int     #: operand/result transfer that was overlapped
+    bus_cycles: int  #: total schedule length
+    rows: int  #: DRAM rows activated per bank
+    comp_cycles: int  #: cycles spent on COMP commands
+    act_cycles: int  #: activation phases (ACT4 trains + tRCD)
+    precharge_cycles: int  #: PRECHARGES windows
+    exposed_io_cycles: int  #: REG_WRITE/RESULT_READ not hidden in shadows
+    hidden_io_cycles: int  #: operand/result transfer that was overlapped
 
     @property
     def efficiency(self) -> float:

@@ -31,7 +31,9 @@ from repro.quant.mx import GROUP_SIZE, MxBlock
 from repro.quant.rounding import RoundingMode
 
 
-def _to_blocks(values: np.ndarray, rounding: RoundingMode, lfsr: Lfsr | None) -> list[MxBlock]:
+def _to_blocks(
+    values: np.ndarray, rounding: RoundingMode, lfsr: Lfsr | None
+) -> list[MxBlock]:
     """Encode a 1-D float array into MX8 groups (zero-padded)."""
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1:
@@ -68,7 +70,9 @@ class StateUpdateEngine:
         lfsr_seed: int = 0xACE1,
     ):
         self.rounding = rounding
-        self.lfsr = Lfsr(16, seed=lfsr_seed) if rounding is RoundingMode.STOCHASTIC else None
+        self.lfsr = (
+            Lfsr(16, seed=lfsr_seed) if rounding is RoundingMode.STOCHASTIC else None
+        )
         self.multiplier = MxMultiplier(self.lfsr)
         self.adder = MxAdder(self.lfsr)
         self.dot_unit = DotProductUnit()

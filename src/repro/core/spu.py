@@ -41,9 +41,9 @@ class BankPort:
 class SpuRun:
     """Result of simulating one unit (or unit pair) workload."""
 
-    cycles: int                 #: PIM cycles from first read to last write
-    subchunks: int              #: sub-chunks processed
-    units: int                  #: processing units involved
+    cycles: int  #: PIM cycles from first read to last write
+    subchunks: int  #: sub-chunks processed
+    units: int  #: processing units involved
     reads: int
     writes: int
 

@@ -17,8 +17,8 @@ from repro.dram.timing import TimingParams
 class BankState(enum.Enum):
     """Row-buffer status of a bank."""
 
-    IDLE = "idle"          # no row open
-    ACTIVE = "active"      # a row is latched in the row buffer
+    IDLE = "idle"  # no row open
+    ACTIVE = "active"  # a row is latched in the row buffer
 
 
 class TimingError(RuntimeError):
@@ -144,4 +144,6 @@ class FawTracker:
         span = self._history[-1] - self._history[0]
         if span == 0:
             return float(self.window)
-        return float(np.clip(len(self._history) * self.timing.tFAW / span, 0, 2 * self.window))
+        return float(
+            np.clip(len(self._history) * self.timing.tFAW / span, 0, 2 * self.window)
+        )

@@ -65,4 +65,6 @@ class Command:
         if self.issue_cycle < 0:
             raise ValueError("issue_cycle must be non-negative")
         if self.kind in ALL_BANK_COMMANDS and self.bank != -1:
-            raise ValueError(f"{self.kind.value} is an all-bank command; bank must be -1")
+            raise ValueError(
+                f"{self.kind.value} is an all-bank command; bank must be -1"
+            )

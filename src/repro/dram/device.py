@@ -85,7 +85,9 @@ class PseudoChannel:
     def _do_read(self, cmd: Command) -> int:
         issue = self.earliest_column_issue(cmd.bank, cmd.issue_cycle)
         if issue != cmd.issue_cycle:
-            raise TimingError(f"RD at {cmd.issue_cycle} violates tCCD (earliest {issue})")
+            raise TimingError(
+                f"RD at {cmd.issue_cycle} violates tCCD (earliest {issue})"
+            )
         self.banks[cmd.bank].read(cmd.issue_cycle, cmd.column)
         self._note_column(cmd)
         return self._occupy_bus(cmd.issue_cycle)
@@ -93,7 +95,9 @@ class PseudoChannel:
     def _do_write(self, cmd: Command) -> int:
         issue = self.earliest_column_issue(cmd.bank, cmd.issue_cycle)
         if issue != cmd.issue_cycle:
-            raise TimingError(f"WR at {cmd.issue_cycle} violates tCCD (earliest {issue})")
+            raise TimingError(
+                f"WR at {cmd.issue_cycle} violates tCCD (earliest {issue})"
+            )
         self.banks[cmd.bank].write(cmd.issue_cycle, cmd.column)
         self._note_column(cmd)
         return self._occupy_bus(cmd.issue_cycle)

@@ -22,9 +22,9 @@ import dataclasses
 class DramEnergyParams:
     """Energy coefficients for one HBM device."""
 
-    activate_pj: float = 909.0      #: per row activation
+    activate_pj: float = 909.0  #: per row activation
     array_pj_per_bit: float = 1.51  #: bank array read or write
-    io_pj_per_bit: float = 0.80     #: transfer over the channel bus
+    io_pj_per_bit: float = 0.80  #: transfer over the channel bus
     #: background/static power per pseudo-channel, in watts
     background_w: float = 0.08
 

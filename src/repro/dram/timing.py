@@ -18,19 +18,19 @@ import dataclasses
 class TimingParams:
     """DRAM timing constraints in memory-bus clock cycles."""
 
-    tRP: int = 14     #: precharge latency
-    tRAS: int = 34    #: minimum row-open time (ACT -> PRE)
-    tRCD: int = 14    #: ACT -> first column access
-    tCCD_S: int = 2   #: column-to-column, different bank group
-    tCCD_L: int = 4   #: column-to-column, same bank group
-    tWR: int = 16     #: write recovery (end of write -> PRE)
-    tRTP_S: int = 4   #: read -> precharge, different bank group
-    tRTP_L: int = 6   #: read -> precharge, same bank group
+    tRP: int = 14  #: precharge latency
+    tRAS: int = 34  #: minimum row-open time (ACT -> PRE)
+    tRCD: int = 14  #: ACT -> first column access
+    tCCD_S: int = 2  #: column-to-column, different bank group
+    tCCD_L: int = 4  #: column-to-column, same bank group
+    tWR: int = 16  #: write recovery (end of write -> PRE)
+    tRTP_S: int = 4  #: read -> precharge, different bank group
+    tRTP_L: int = 6  #: read -> precharge, same bank group
     tREFI: int = 3900  #: average refresh interval
-    tRFC: int = 390   #: refresh cycle time
-    tFAW: int = 30    #: four-activation window
-    tRRD: int = 4     #: activate-to-activate, different banks
-    tBL: int = 2      #: burst length on the bus, in clock cycles
+    tRFC: int = 390  #: refresh cycle time
+    tFAW: int = 30  #: four-activation window
+    tRRD: int = 4  #: activate-to-activate, different banks
+    tBL: int = 2  #: burst length on the bus, in clock cycles
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):

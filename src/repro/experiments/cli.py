@@ -6,6 +6,7 @@ Usage::
     repro figure fig12 [--smoke]    # regenerate a figure's table
     repro sweep fig12 --set batch=32,64
     repro sweep serving --set system=GPU,Pimba --json results.json
+    repro bench diff OLD.json NEW.json --tolerance 5   # CI perf gate
     repro cache info                # where is the cache, how big is it?
     repro cache clear
     python -m repro ...             # same thing without the console script
@@ -26,6 +27,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments import registry
+from repro.experiments.benchdiff import diff_report_files
 from repro.experiments.cache import ResultCache
 from repro.experiments.figures import FIGURES
 from repro.experiments.runner import Runner, RunReport, TrialResult
@@ -102,6 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="narrow an axis to the given comma-separated values",
     )
     _add_run_options(sweep)
+
+    bench = commands.add_parser(
+        "bench", help="work with BENCH_*.json perf reports"
+    )
+    bench_actions = bench.add_subparsers(dest="bench_action", required=True)
+    diff = bench_actions.add_parser(
+        "diff",
+        help="compare two --json reports and fail on perf regressions",
+    )
+    diff.add_argument("old_report", metavar="OLD.json")
+    diff.add_argument("new_report", metavar="NEW.json")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="allowed regression per metric in percent (default: 5)",
+    )
 
     cache = commands.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -230,6 +250,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        diff = diff_report_files(
+            args.old_report, args.new_report, args.tolerance
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
+    print(diff.summary())
+    return 0 if diff.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -253,6 +285,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_sweep(args)

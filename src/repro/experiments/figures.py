@@ -106,4 +106,11 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.serving_assemble,
         render=serving_experiments.serving_render,
     ),
+    "scaling": Figure(
+        name="scaling",
+        title="Cluster scaling: goodput and TTFT p99 vs replicas (per router)",
+        spec=serving_experiments.scaling_spec,
+        assemble=serving_experiments.scaling_assemble,
+        render=serving_experiments.scaling_render,
+    ),
 }

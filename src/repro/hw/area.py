@@ -65,12 +65,12 @@ def pipelined_unit_gates(format_name: str, column_bits: int = 256) -> float:
     stochastic = format_name.endswith("SR")
 
     gates = 0.0
-    gates += 2 * lanes * costs.multiply          # decay and outer-product
-    gates += lanes * costs.add                   # state update
-    gates += lanes * costs.mac                   # dot-product lanes
-    gates += adder_tree_gates(lanes, 14)         # dot-product reduction
-    gates += register_gates(32)                  # wide accumulator
-    gates += 4 * groups * costs.group            # shared exponent logic
+    gates += 2 * lanes * costs.multiply  # decay and outer-product
+    gates += lanes * costs.add  # state update
+    gates += lanes * costs.mac  # dot-product lanes
+    gates += adder_tree_gates(lanes, 14)  # dot-product reduction
+    gates += register_gates(32)  # wide accumulator
+    gates += 4 * groups * costs.group  # shared exponent logic
     gates += operand_register_gates(column_bits, copies=6)
     if stochastic:
         gates += costs.sr_unit + lanes * costs.sr_lane
@@ -91,9 +91,9 @@ def time_multiplexed_unit_gates(format_name: str, column_bits: int = 256) -> flo
     stochastic = format_name.endswith("SR")
 
     gates = 0.0
-    gates += lanes * costs.multiply              # one shared multiplier rank
-    gates += lanes * costs.add                   # one shared adder rank
-    gates += adder_tree_gates(lanes, 14)         # GEMV reduction
+    gates += lanes * costs.multiply  # one shared multiplier rank
+    gates += lanes * costs.add  # one shared adder rank
+    gates += adder_tree_gates(lanes, 14)  # GEMV reduction
     gates += register_gates(32)
     gates += groups * costs.group
     gates += operand_register_gates(column_bits, copies=4)

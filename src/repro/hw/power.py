@@ -13,7 +13,7 @@ from repro.hw.gates import GateLibrary
 class UnitPower:
     """Power report for one processing unit."""
 
-    dynamic_w: float          #: switching power at the SPU clock
+    dynamic_w: float  #: switching power at the SPU clock
     energy_per_cycle_pj: float
 
     @property

@@ -36,12 +36,12 @@ from repro.hw.gates import (
 class LaneCosts:
     """NAND2-equivalent costs of one SIMD lane of a format's datapath."""
 
-    multiply: float          #: element-wise multiplier lane
-    add: float               #: element-wise adder lane
-    mac: float               #: dot-product MAC lane (multiplier + feed)
-    group: float = 0.0       #: per-group shared logic (amortized by caller)
-    sr_lane: float = 0.0     #: per-lane stochastic-rounding adder
-    sr_unit: float = 0.0     #: per-unit stochastic-rounding LFSR
+    multiply: float  #: element-wise multiplier lane
+    add: float  #: element-wise adder lane
+    mac: float  #: dot-product MAC lane (multiplier + feed)
+    group: float = 0.0  #: per-group shared logic (amortized by caller)
+    sr_lane: float = 0.0  #: per-lane stochastic-rounding adder
+    sr_unit: float = 0.0  #: per-unit stochastic-rounding LFSR
 
 
 #: IEEE-compliance multiplier for fp16 units: subnormal handling, sticky/

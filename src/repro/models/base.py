@@ -67,7 +67,9 @@ class BaseLlm(abc.ABC):
                 "ln1": np.ones(s.d_model),
                 "w_q": rng.normal(scale=scale, size=(s.d_model, s.qk_width)),
                 "w_k": rng.normal(scale=scale, size=(s.d_model, s.qk_width)),
-                "w_v": rng.normal(scale=scale, size=(s.d_model, s.n_heads * s.dim_state)),
+                "w_v": rng.normal(
+                    scale=scale, size=(s.d_model, s.n_heads * s.dim_state)
+                ),
                 "w_o": rng.normal(
                     scale=1.0 / np.sqrt(s.n_heads * s.dim_state),
                     size=(s.n_heads * s.dim_state, s.d_model),

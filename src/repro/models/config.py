@@ -29,8 +29,8 @@ class Family(enum.Enum):
     GLA = "gla"
     HGRN2 = "hgrn2"
     MAMBA2 = "mamba2"
-    ZAMBA2 = "zamba2"       # hybrid Mamba-2 + attention
-    TRANSFORMER = "opt"     # pure softmax attention
+    ZAMBA2 = "zamba2"  # hybrid Mamba-2 + attention
+    TRANSFORMER = "opt"  # pure softmax attention
 
     @property
     def uses_state_update(self) -> bool:
@@ -49,13 +49,13 @@ class ModelSpec:
     family: Family
     n_layers: int
     d_model: int
-    n_heads: int          #: state-update (or attention) heads per layer
-    dim_head: int         #: per-head key/query width
-    dim_state: int        #: per-head value/state width
+    n_heads: int  #: state-update (or attention) heads per layer
+    dim_head: int  #: per-head key/query width
+    dim_state: int  #: per-head value/state width
     vocab_size: int = 50_280
-    ffn_mult: int = 4     #: FFN expansion (0 for Mamba-2-style blocks)
-    conv_width: int = 4   #: causal-conv kernel (Mamba-2 family only)
-    attn_every: int = 0   #: one attention layer per this many layers (hybrid)
+    ffn_mult: int = 4  #: FFN expansion (0 for Mamba-2-style blocks)
+    conv_width: int = 4  #: causal-conv kernel (Mamba-2 family only)
+    attn_every: int = 0  #: one attention layer per this many layers (hybrid)
     #: Mamba-2-style models share the B/C (k/q) projections across heads
     #: (n_groups = 1), so the q/k projections are only d_model x dim_head.
     shared_qk: bool = False
@@ -106,11 +106,11 @@ class ModelSpec:
         qk = 2 * d * self.qk_width
         v_and_out = 2 * d * self.n_heads * self.dim_state
         if self.family in (Family.MAMBA2, Family.ZAMBA2):
-            gate = d * self.n_heads * self.dim_state      # z output gate
+            gate = d * self.n_heads * self.dim_state  # z output gate
         elif self.family in (Family.GLA, Family.HGRN2):
-            gate = d * self.n_heads * self.dim_head       # decay/forget gate
+            gate = d * self.n_heads * self.dim_head  # decay/forget gate
         else:
-            gate = 0                                      # RetNet: constant
+            gate = 0  # RetNet: constant
         ffn = 3 * d * d * self.ffn_mult if self.ffn_mult else 0
         embed = self.vocab_size * d
         return self.n_layers * (qk + v_and_out + gate + ffn) + embed

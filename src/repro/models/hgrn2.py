@@ -56,6 +56,6 @@ class Hgrn2(BaseLlm):
         # Forget gate bounded inside (floor, 1): the 0.9 ceiling keeps the
         # slowest gates away from exactly 1 (HGRN2's lower-bound trick).
         f = floor + (1.0 - floor) * (0.05 + 0.9 * raw)
-        k = 1.0 - f                            # tied input gate
+        k = 1.0 - f  # tied input gate
         cache["state"], y = self.state_op(cache["state"], f, k, v, q)
         return self._mixer_output(layer, y)

@@ -70,8 +70,8 @@ class Mamba2(BaseLlm):
         v = v_conv.reshape(batch, s.n_heads, s.dim_state)
 
         # Discretization: per-head scalar decay and input scaling.
-        dt = softplus(x @ layer["w_dt"] + layer["dt_bias"])      # (batch, H)
-        a = np.exp(-dt * np.exp(layer["log_a"]))                  # (batch, H)
+        dt = softplus(x @ layer["w_dt"] + layer["dt_bias"])  # (batch, H)
+        a = np.exp(-dt * np.exp(layer["log_a"]))  # (batch, H)
         v = v * dt[..., None]
 
         cache["state"], y = self.state_op(cache["state"], a, k, v, q)

@@ -41,8 +41,8 @@ class OptTransformer(BaseLlm):
         q, k, v = self._project_qkv(layer, x)
         # The value head width is dim_state; attention uses dh for q/k.
         self._append_kv(cache, k, v)
-        k_cache = np.stack(cache["k"], axis=2)       # (batch, H, seq, dh)
-        v_cache = np.stack(cache["v"], axis=2)       # (batch, H, seq, ds)
+        k_cache = np.stack(cache["k"], axis=2)  # (batch, H, seq, dh)
+        v_cache = np.stack(cache["v"], axis=2)  # (batch, H, seq, ds)
         scores = np.einsum("bhd,bhsd->bhs", q, k_cache)
         scores = scores / np.sqrt(s.dim_head)
         weights = np.exp(scores - scores.max(axis=-1, keepdims=True))

@@ -35,9 +35,9 @@ def state_update_step(
     k, q (..., H, dh); v (..., H, ds).
     """
     d_arr = np.asarray(d, dtype=np.float64)
-    if d_arr.ndim == state.ndim - 1:        # per-head vector gate
+    if d_arr.ndim == state.ndim - 1:  # per-head vector gate
         decay = d_arr[..., :, None]
-    elif d_arr.ndim == state.ndim - 2:      # per-head scalar decay
+    elif d_arr.ndim == state.ndim - 2:  # per-head scalar decay
         decay = d_arr[..., None, None]
     elif d_arr.ndim == 0:
         decay = d_arr

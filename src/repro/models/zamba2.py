@@ -60,7 +60,9 @@ class Zamba2(BaseLlm):
             return self._attention_step(layer_index, x, cache)
         return self._mamba_step(layer_index, x, cache)
 
-    def _attention_step(self, layer_index: int, x: np.ndarray, cache: dict) -> np.ndarray:
+    def _attention_step(
+        self, layer_index: int, x: np.ndarray, cache: dict
+    ) -> np.ndarray:
         s = self.spec
         layer = self.params["layers"][layer_index]
         q, k, v = self._project_qkv(layer, x)
@@ -78,7 +80,9 @@ class Zamba2(BaseLlm):
         layer = self.params["layers"][layer_index]
         batch = x.shape[0]
         q, k, v_flat = self._project_qkv(layer, x)
-        v_conv = silu(cache["conv"].step(v_flat.reshape(batch, -1), layer["conv_kernel"]))
+        v_conv = silu(
+            cache["conv"].step(v_flat.reshape(batch, -1), layer["conv_kernel"])
+        )
         v = v_conv.reshape(batch, s.n_heads, s.dim_state)
         dt = softplus(x @ layer["w_dt"] + layer["dt_bias"])
         a = np.exp(-dt * np.exp(layer["log_a"]))

@@ -19,8 +19,8 @@ from repro.perf.operators import OpCost, OpKind
 #: fraction of peak memory bandwidth each op class sustains
 _MEM_EFFICIENCY = {
     OpKind.GEMM: 0.80,
-    OpKind.STATE_UPDATE: 0.75,   # clean per-request streaming kernels
-    OpKind.ATTENTION: 0.70,      # gather over paged KV blocks
+    OpKind.STATE_UPDATE: 0.75,  # clean per-request streaming kernels
+    OpKind.ATTENTION: 0.70,  # gather over paged KV blocks
     OpKind.DISCRETIZATION: 0.50,
     OpKind.CAUSAL_CONV: 0.50,
     OpKind.OTHER: 0.50,

@@ -34,8 +34,8 @@ class OpCost:
     """Work of one operator class in one generation step, per device."""
 
     kind: OpKind
-    flops: float          #: floating-point operations
-    bytes: float          #: DRAM traffic (reads + writes)
+    flops: float  #: floating-point operations
+    bytes: float  #: DRAM traffic (reads + writes)
     comm_bytes: float = 0.0  #: inter-device payload (all-reduce input size)
 
     def scaled(self, factor: float) -> "OpCost":
@@ -47,10 +47,10 @@ class OpCost:
 class PrecisionConfig:
     """Bytes per value for each storage class."""
 
-    weight_bytes: float = 2.0   #: model weights (fp16 everywhere)
-    state_bytes: float = 2.0    #: SU-LLM state (2.0 fp16 / ~1.06 int8 / 1.0 MX8)
-    kv_bytes: float = 2.0       #: transformer KV cache
-    act_bytes: float = 2.0      #: activations
+    weight_bytes: float = 2.0  #: model weights (fp16 everywhere)
+    state_bytes: float = 2.0  #: SU-LLM state (2.0 fp16 / ~1.06 int8 / 1.0 MX8)
+    kv_bytes: float = 2.0  #: transformer KV cache
+    act_bytes: float = 2.0  #: activations
 
 
 def generation_step_ops(

@@ -25,8 +25,8 @@ class RooflinePoint:
     """One operator class on the roofline plane."""
 
     kind: OpKind
-    intensity: float         #: FLOPs per byte
-    attained_flops: float    #: FLOP/s under the roofline
+    intensity: float  #: FLOPs per byte
+    attained_flops: float  #: FLOP/s under the roofline
     memory_bound: bool
 
     @property

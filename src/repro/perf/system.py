@@ -51,7 +51,7 @@ class SystemKind(enum.Enum):
 #: storage format (quant registry name) backing each system's state/KV cache
 STATE_FORMATS = {
     SystemKind.GPU: "fp16",
-    SystemKind.GPU_Q: "int8",     # int8 with a 16-bit scale per 32 elements
+    SystemKind.GPU_Q: "int8",  # int8 with a 16-bit scale per 32 elements
     SystemKind.GPU_PIM: "fp16",
     SystemKind.PIMBA: "mx8SR",
     SystemKind.NEUPIMS: "fp16",
@@ -118,7 +118,7 @@ class StepBreakdown:
 class GenerationMetrics:
     """Throughput/latency/memory of one serving configuration."""
 
-    tokens_per_second: float     #: generation-phase throughput
+    tokens_per_second: float  #: generation-phase throughput
     decode_seconds: float
     prefill_seconds: float
     step: StepBreakdown

@@ -58,7 +58,9 @@ class MiniFloatFormat(StorageFormat):
         e = np.clip(e, self.min_norm_exp, self.max_exp)
         return np.exp2(e - self.man_bits)
 
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         step = self._step(x)
         q = round_lattice(x / step, self.rounding, rng) * step

@@ -32,7 +32,9 @@ class StorageFormat(abc.ABC):
     rounding: RoundingMode = RoundingMode.NEAREST
 
     @abc.abstractmethod
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Return ``x`` snapped onto the representable lattice.
 
         Args:
@@ -59,7 +61,9 @@ class Float16Format(StorageFormat):
     name = "fp16"
     bits_per_value = 16.0
 
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         del rng  # fp16 reference always rounds to nearest
         return np.asarray(x, dtype=np.float16).astype(np.float64)
 
@@ -70,7 +74,9 @@ class Float32Format(StorageFormat):
     name = "fp32"
     bits_per_value = 32.0
 
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         del rng
         return np.asarray(x, dtype=np.float32).astype(np.float64)
 

@@ -35,7 +35,9 @@ class Int8GroupFormat(StorageFormat):
         # 8 bits per value plus the amortized shared scale.
         self.bits_per_value = 8.0 + scale_bits / group
 
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         padded, n = pad_to_group(x, self.group)
         grouped = padded.reshape(*padded.shape[:-1], -1, self.group)

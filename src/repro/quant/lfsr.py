@@ -31,7 +31,9 @@ class Lfsr:
 
     def __init__(self, width: int = 16, seed: int = 0xACE1):
         if width not in _TAPS:
-            raise ValueError(f"unsupported LFSR width {width}; pick from {sorted(_TAPS)}")
+            raise ValueError(
+                f"unsupported LFSR width {width}; pick from {sorted(_TAPS)}"
+            )
         if seed == 0:
             raise ValueError("LFSR seed must be non-zero (all-zero state is absorbing)")
         self.width = width

@@ -66,7 +66,9 @@ class Mx8Format(StorageFormat):
             + GROUP_SIZE // PAIR_SIZE
         ) / GROUP_SIZE
 
-    def quantize(self, x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         padded, n = pad_to_group(x, GROUP_SIZE)
         grouped = padded.reshape(*padded.shape[:-1], -1, GROUP_SIZE)

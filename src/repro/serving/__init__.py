@@ -9,6 +9,14 @@ every prefill and decode iteration on a
 policy (static, FCFS continuous, or HBM-capacity-aware).  The outcome is
 a :class:`ServingReport`: TTFT/TPOT/latency percentiles, queue depths,
 throughput, and goodput under an SLO.
+
+The cluster layer (:mod:`repro.serving.cluster` /
+:mod:`repro.serving.routing`) scales this to a data-parallel fleet: a
+:class:`ClusterEngine` drives N independent engine replicas behind a
+front-end router (round-robin, least-loaded, or affinity hashing) and
+merges their events into one report with per-replica breakdowns; the
+shipped trace corpus (:mod:`repro.serving.corpus`) provides replayable
+bursty/steady request streams under ``traces/``.
 """
 
 from repro.serving.arrivals import (
@@ -22,8 +30,24 @@ from repro.serving.arrivals import (
     save_trace,
     static_trace,
 )
+from repro.serving.cluster import (
+    ClusterEngine,
+    ClusterReport,
+    ClusterTrace,
+    ReplicaStats,
+    build_cluster,
+)
 from repro.serving.costs import IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
+from repro.serving.routing import (
+    ROUTER_NAMES,
+    AffinityRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    Router,
+    build_router,
+    load_imbalance,
+)
 from repro.serving.metrics import (
     RequestTiming,
     ServingReport,
@@ -53,6 +77,18 @@ __all__ = [
     "IterationCostModel",
     "EngineTrace",
     "ServingEngine",
+    "ClusterEngine",
+    "ClusterReport",
+    "ClusterTrace",
+    "ReplicaStats",
+    "build_cluster",
+    "ROUTER_NAMES",
+    "AffinityRouter",
+    "LeastOutstandingRouter",
+    "RoundRobinRouter",
+    "Router",
+    "build_router",
+    "load_imbalance",
     "RequestTiming",
     "ServingReport",
     "SloSpec",

@@ -1,0 +1,256 @@
+"""Data-parallel cluster serving: N engine replicas behind a router.
+
+The paper evaluates one accelerator node; a production fleet is many such
+nodes behind a front end.  :class:`ClusterEngine` models exactly that
+composition — each replica is a full
+:class:`~repro.serving.engine.ServingEngine` with its own scheduler, HBM
+budget, and clock, and a :class:`~repro.serving.routing.Router` pins every
+arriving request to one replica *before* any scheduler sees it.  Replicas
+never steal work from each other (there is no global queue), so routing
+quality shows up directly as per-node queueing: an unlucky policy leaves
+one replica saturated while others idle, and the merged tail latencies
+pay for it.
+
+The merged outcome is an ordinary
+:class:`~repro.serving.metrics.ServingReport`, extended with per-replica
+breakdowns and a load-imbalance figure — and a single-replica cluster is
+*bit-exact* with the bare engine (any router is the identity on one
+replica; the merge returns the lone replica's record untouched, which the
+equivalence tests pin down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+from repro.serving.engine import EngineTrace, ServingEngine
+from repro.serving.metrics import RequestTiming, ServingReport, SloSpec
+from repro.serving.routing import (
+    AffinityKey,
+    Router,
+    build_router,
+    load_imbalance,
+)
+from repro.serving.schedulers import build_scheduler
+from repro.workloads.requests import TimedRequest, Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's share of a cluster run (idle replicas report zeros)."""
+
+    replica: int
+    trace: EngineTrace | None
+
+    @property
+    def n_requests(self) -> int:
+        return 0 if self.trace is None else len(self.trace.timings)
+
+    @property
+    def assigned_tokens(self) -> int:
+        """Total input+output tokens routed to this replica (its load)."""
+        if self.trace is None:
+            return 0
+        return sum(t.input_len + t.output_len for t in self.trace.timings)
+
+    def to_payload(self, slo: SloSpec | None = None) -> dict:
+        payload: dict = {
+            "replica": self.replica,
+            "n_requests": self.n_requests,
+            "assigned_tokens": self.assigned_tokens,
+        }
+        if self.trace is not None:
+            report = self.trace.report()
+            payload.update(
+                makespan_s=report.makespan_s,
+                mean_queue_depth=report.mean_queue_depth,
+                max_queue_depth=report.max_queue_depth,
+                ttft_p99_s=report.ttft_percentile(99),
+            )
+            if slo is not None:
+                payload["goodput_rps"] = report.goodput(slo)
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterReport(ServingReport):
+    """A merged :class:`ServingReport` plus the per-replica view."""
+
+    router: str
+    per_replica: tuple[ReplicaStats, ...]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.per_replica)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean assigned tokens across replicas (1.0 = even)."""
+        return load_imbalance([r.assigned_tokens for r in self.per_replica])
+
+    def to_payload(self, slo: SloSpec | None = None) -> dict:
+        payload = super().to_payload(slo)
+        payload["router"] = self.router
+        payload["n_replicas"] = self.n_replicas
+        payload["load_imbalance"] = self.load_imbalance
+        payload["per_replica"] = [
+            r.to_payload(slo) for r in self.per_replica
+        ]
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterTrace:
+    """Raw outcome of one cluster run: who went where, what each node did."""
+
+    assignments: tuple[int, ...]  #: replica index per trace request
+    replicas: tuple[EngineTrace | None, ...]  #: ``None`` = never dispatched
+    router: str
+
+    def merged(self) -> EngineTrace:
+        """All replicas' events folded into one engine-level record.
+
+        With one active replica this returns its record *unchanged* — the
+        bit-exactness guarantee of the 1-replica equivalence.  With many,
+        timings re-sort by request id, event lists concatenate in replica
+        order, and the time-weighted queue depth is re-averaged over the
+        cluster-wide span (per-replica depth areas add; spans overlap).
+        """
+        active = [t for t in self.replicas if t is not None]
+        if not active:
+            raise ValueError("cluster run produced no replica traces")
+        if len(active) == 1:
+            return active[0]
+        timings: list[RequestTiming] = [
+            t for trace in active for t in trace.timings
+        ]
+        timings.sort(key=lambda t: t.request_id)
+        start = min(t.start_s for t in active)
+        end = max(t.end_s for t in active)
+        span = max(end - start, 1e-12)
+        depth_area = sum(t.mean_queue_depth * t.makespan_s for t in active)
+        return EngineTrace(
+            timings=tuple(timings),
+            iteration_seconds=tuple(
+                s for t in active for s in t.iteration_seconds
+            ),
+            prefill_seconds=tuple(
+                s for t in active for s in t.prefill_seconds
+            ),
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max(t.max_queue_depth for t in active),
+        )
+
+    def report(self) -> ClusterReport:
+        merged = self.merged().report()
+        # Shallow field copy (asdict would recurse into RequestTiming).
+        fields = {
+            f.name: getattr(merged, f.name)
+            for f in dataclasses.fields(ServingReport)
+        }
+        return ClusterReport(
+            **fields,
+            router=self.router,
+            per_replica=tuple(
+                ReplicaStats(replica=i, trace=t)
+                for i, t in enumerate(self.replicas)
+            ),
+        )
+
+
+class ClusterEngine:
+    """Drives N independent serving replicas behind a front-end router."""
+
+    def __init__(self, replicas: Sequence[ServingEngine], router: Router):
+        replicas = tuple(replicas)
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        if router.n_replicas != len(replicas):
+            raise ValueError(
+                f"router expects {router.n_replicas} replicas, "
+                f"cluster has {len(replicas)}"
+            )
+        self.replicas = replicas
+        self.router = router
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def serve(self, trace: Trace) -> ClusterTrace:
+        """Route ``trace``, run every dispatched replica, keep the split."""
+        self.router.reset()  # a reused engine must route like a fresh one
+        assignments = self.router.assign(trace)
+        parts = trace.partition(assignments)
+        return ClusterTrace(
+            assignments=assignments,
+            replicas=tuple(
+                engine.serve(parts[i]) if i in parts else None
+                for i, engine in enumerate(self.replicas)
+            ),
+            router=self.router.name,
+        )
+
+    def run(self, trace: Trace) -> ClusterReport:
+        """Serve ``trace`` and return the merged cluster report."""
+        return self.serve(trace).report()
+
+
+def build_cluster(
+    system: ServingSystem,
+    spec: ModelSpec,
+    n_replicas: int,
+    router: str = "round-robin",
+    scheduler: str = "fcfs",
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_bytes: float | None = None,
+    affinity_key: AffinityKey | None = None,
+) -> ClusterEngine:
+    """A homogeneous cluster: ``n_replicas`` copies of one node design.
+
+    Every replica gets its *own* scheduler instance (and therefore its own
+    HBM reservation ledger under the ``memory`` policy); the system cost
+    model is shared because pricing is pure.  The least-loaded router's
+    service-time estimate reuses replica 0's
+    :class:`~repro.serving.costs.IterationCostModel` — one solo prefill
+    plus ``output_len`` decode steps priced at the request's mid-generation
+    context — so routing and execution can never disagree about costs.
+    """
+    replicas = tuple(
+        ServingEngine(
+            system,
+            spec,
+            build_scheduler(
+                scheduler,
+                system,
+                spec,
+                max_batch=max_batch,
+                step_stride=step_stride,
+                capacity_bytes=capacity_bytes,
+            ),
+        )
+        for _ in range(n_replicas)
+    )
+
+    def service_time(request: TimedRequest) -> float:
+        cost = replicas[0].cost
+        mid_context = request.input_len + request.output_len // 2
+        return cost.prefill_seconds(
+            1, request.input_len
+        ) + request.output_len * cost.decode_seconds(1, mid_context)
+
+    return ClusterEngine(
+        replicas,
+        build_router(
+            router,
+            n_replicas,
+            service_time=service_time,
+            affinity_key=affinity_key,
+        ),
+    )

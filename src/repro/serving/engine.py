@@ -38,9 +38,9 @@ class EngineTrace:
 
     timings: tuple[RequestTiming, ...]
     iteration_seconds: tuple[float, ...]  #: every priced decode iteration
-    prefill_seconds: tuple[float, ...]    #: every priced prefill event
-    start_s: float                        #: first arrival
-    end_s: float                          #: last completion
+    prefill_seconds: tuple[float, ...]  #: every priced prefill event
+    start_s: float  #: first arrival
+    end_s: float  #: last completion
     mean_queue_depth: float
     max_queue_depth: int
 

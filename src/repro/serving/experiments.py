@@ -5,6 +5,12 @@ Registers the ``serving_slo`` trial function and the ``serving`` sweep
 same seeded arrival trace, and the cached result carries the full SLO
 report — TTFT/TPOT percentiles, queue depths, throughput and goodput — so
 latency-throughput curves come straight out of ``repro sweep serving``.
+
+The cluster layer adds ``cluster_slo`` (the same trace served by a
+:class:`~repro.serving.cluster.ClusterEngine` of N replicas behind a
+router), the ``cluster`` sweep (replicas x router x scheduler grid), and
+the ``scaling`` sweep/figure (goodput and TTFT p99 vs replica count, one
+curve per router).
 """
 
 from __future__ import annotations
@@ -24,9 +30,13 @@ from repro.serving.arrivals import (
     load_trace,
     poisson_trace,
 )
+from repro.serving import corpus as _corpus  # noqa: F401  (registers sweep)
+from repro.serving.cluster import build_cluster
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import SloSpec
+from repro.serving.routing import ROUTER_NAMES
 from repro.serving.schedulers import build_scheduler
+from repro.workloads.requests import Trace
 
 #: all five evaluated systems, in the paper's presentation order
 SERVING_SYSTEMS = tuple(kind.value for kind in SystemKind)
@@ -35,6 +45,55 @@ SERVING_SYSTEMS = tuple(kind.value for kind in SystemKind)
 #: to well past the GPU baseline's saturation point (small scale, Zamba2,
 #: (1024, 256) requests, 32 slots)
 SERVING_QPS_GRID = (2.0, 6.0, 10.0, 14.0)
+
+#: replica-count grid of the cluster sweeps (1 doubles as the equivalence
+#: anchor: a 1-replica cluster is bit-exact with the bare engine)
+CLUSTER_REPLICA_GRID = (1, 2, 4)
+
+#: the scaling figure's deeper replica axis
+SCALING_REPLICA_GRID = (1, 2, 4, 8)
+
+
+def build_arrival_trace(
+    qps: float,
+    n_requests: int,
+    seed: int,
+    arrival: str,
+    cv: float,
+    length_dist: str,
+    input_len: int,
+    output_len: int,
+    sigma: float,
+    trace_file: str | None = None,
+    trace_sha: str | None = None,
+) -> Trace:
+    """The seeded (or replayed) request stream every serving trial uses.
+
+    Shared by the single-node and cluster trials so both serve the
+    *identical* workload for identical parameters.  ``trace_file``
+    overrides the generator; ``trace_sha`` guards against replaying an
+    edited file under a stale cache identity (see :func:`replay_spec`).
+    """
+    if trace_file is not None:
+        if trace_sha is not None and trace_fingerprint(trace_file) != trace_sha:
+            raise ValueError(
+                f"{trace_file} no longer matches trace_sha={trace_sha!r}; "
+                "rebuild the sweep with replay_spec() to re-key the cache"
+            )
+        return load_trace(trace_file)
+    if length_dist == "fixed":
+        lengths = fixed_lengths(input_len, output_len)
+    elif length_dist == "lognormal":
+        lengths = lognormal_lengths(input_len, output_len, sigma)
+    else:
+        raise KeyError(
+            f"unknown length_dist {length_dist!r}; use fixed|lognormal"
+        )
+    if arrival == "poisson":
+        return poisson_trace(qps, n_requests, lengths, seed)
+    if arrival == "gamma":
+        return gamma_trace(qps, n_requests, cv, lengths, seed)
+    raise KeyError(f"unknown arrival {arrival!r}; use poisson|gamma")
 
 
 @trial("serving_slo")
@@ -74,30 +133,10 @@ def serving_slo(
     """
     spec = spec_for(model, scale)
     serving = build_system(SystemKind(system), scale)
-
-    if trace_file is not None:
-        if trace_sha is not None and trace_fingerprint(trace_file) != trace_sha:
-            raise ValueError(
-                f"{trace_file} no longer matches trace_sha={trace_sha!r}; "
-                "rebuild the sweep with replay_spec() to re-key the cache"
-            )
-        trace = load_trace(trace_file)
-    else:
-        if length_dist == "fixed":
-            lengths = fixed_lengths(input_len, output_len)
-        elif length_dist == "lognormal":
-            lengths = lognormal_lengths(input_len, output_len, sigma)
-        else:
-            raise KeyError(
-                f"unknown length_dist {length_dist!r}; use fixed|lognormal"
-            )
-        if arrival == "poisson":
-            trace = poisson_trace(qps, n_requests, lengths, seed)
-        elif arrival == "gamma":
-            trace = gamma_trace(qps, n_requests, cv, lengths, seed)
-        else:
-            raise KeyError(f"unknown arrival {arrival!r}; use poisson|gamma")
-
+    trace = build_arrival_trace(
+        qps, n_requests, seed, arrival, cv, length_dist,
+        input_len, output_len, sigma, trace_file, trace_sha,
+    )
     policy = build_scheduler(
         scheduler,
         serving,
@@ -170,6 +209,151 @@ def serving_assemble(report: RunReport) -> dict:
     for (system, qps), value in report.mapping("system", "qps").items():
         out.setdefault(system, []).append((qps, value))
     return out
+
+
+@trial("cluster_slo")
+def cluster_slo(
+    system: str,
+    qps: float,
+    replicas: int = 2,
+    router: str = "round-robin",
+    model: str = "Zamba2",
+    scale: str = "small",
+    scheduler: str = "fcfs",
+    n_requests: int = 64,
+    seed: int = 0,
+    arrival: str = "poisson",
+    cv: float = 2.0,
+    length_dist: str = "fixed",
+    input_len: int = 1024,
+    output_len: int = 256,
+    sigma: float = 0.5,
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_gib: float | None = None,
+    slo_ttft_s: float = 2.0,
+    slo_tpot_s: float = 0.018,
+    trace_file: str | None = None,
+    trace_sha: str | None = None,
+) -> dict:
+    """Serve one arrival trace on a router-fronted cluster of replicas.
+
+    Identical parameters (minus ``replicas``/``router``) produce the
+    identical request stream as :func:`serving_slo`, so cluster curves
+    overlay single-node ones directly — and ``replicas=1`` reproduces the
+    bare engine bit-for-bit under every router (the merge is the identity
+    for one replica; the equivalence is tested).
+    """
+    spec = spec_for(model, scale)
+    serving = build_system(SystemKind(system), scale)
+    trace = build_arrival_trace(
+        qps, n_requests, seed, arrival, cv, length_dist,
+        input_len, output_len, sigma, trace_file, trace_sha,
+    )
+    cluster = build_cluster(
+        serving,
+        spec,
+        n_replicas=replicas,
+        router=router,
+        scheduler=scheduler,
+        max_batch=max_batch,
+        step_stride=step_stride,
+        capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
+    )
+    report = cluster.run(trace)
+    return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
+
+
+#: the cluster sweeps run one system under deliberately saturating load —
+#: one replica misses the TTFT SLO on most requests, so added replicas
+#: convert queueing delay straight into goodput
+CLUSTER_LOAD = dict(
+    system="Pimba",
+    qps=64.0,
+    n_requests=128,
+    input_len=512,
+    output_len=64,
+    max_batch=8,
+)
+
+
+@sweep("cluster")
+def cluster_spec(smoke: bool = False) -> ExperimentSpec:
+    """Cluster grid: replicas x router x scheduler under saturating load."""
+    if smoke:
+        return ExperimentSpec(
+            name="cluster",
+            trial_fn="cluster_slo",
+            axes={"replicas": (1, 2), "router": ("round-robin",)},
+            fixed={
+                **CLUSTER_LOAD,
+                "scheduler": "fcfs",
+                "n_requests": 16,
+                "qps": 16.0,
+            },
+        )
+    return ExperimentSpec(
+        name="cluster",
+        trial_fn="cluster_slo",
+        axes={
+            "replicas": CLUSTER_REPLICA_GRID,
+            "router": ROUTER_NAMES,
+            "scheduler": ("fcfs", "memory"),
+        },
+        fixed=CLUSTER_LOAD,
+    )
+
+
+@sweep("scaling")
+def scaling_spec(smoke: bool = False) -> ExperimentSpec:
+    """Scaling figure: goodput and TTFT p99 vs replica count per router."""
+    if smoke:
+        return ExperimentSpec(
+            name="scaling",
+            trial_fn="cluster_slo",
+            axes={"router": ("least-loaded",), "replicas": (1, 2)},
+            fixed={
+                **CLUSTER_LOAD,
+                "scheduler": "fcfs",
+                "n_requests": 16,
+                "qps": 16.0,
+            },
+        )
+    return ExperimentSpec(
+        name="scaling",
+        trial_fn="cluster_slo",
+        axes={"router": ROUTER_NAMES, "replicas": SCALING_REPLICA_GRID},
+        fixed={**CLUSTER_LOAD, "scheduler": "fcfs"},
+    )
+
+
+def scaling_assemble(report: RunReport) -> dict:
+    """Reshape to ``{router: [(replicas, payload), ...]}`` in grid order."""
+    out: dict = {}
+    for (router, replicas), value in report.mapping("router", "replicas").items():
+        out.setdefault(router, []).append((replicas, value))
+    return out
+
+
+def scaling_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "router", "replicas", "goodput (req/s)", "SLO attainment",
+        "ttft p99 (s)", "tpot p99 (ms)", "load imbalance", "tokens/s",
+    ]
+    rows = []
+    for router, points in data.items():
+        for replicas, m in points:
+            rows.append([
+                router,
+                replicas,
+                m.get("goodput_rps", float("nan")),
+                m.get("slo_attainment", float("nan")),
+                m["ttft_p99_s"],
+                m["tpot_p99_s"] * 1e3,
+                m["load_imbalance"],
+                m["throughput_tokens_per_s"],
+            ])
+    return header, rows
 
 
 def serving_render(data: dict) -> tuple[list[str], list[list]]:

@@ -27,9 +27,9 @@ class RequestTiming:
     input_len: int
     output_len: int
     arrival_s: float
-    admitted_s: float      #: prefill start (left the waiting queue)
-    first_token_s: float   #: end of the first decode iteration
-    finished_s: float      #: end of the last decode iteration
+    admitted_s: float  #: prefill start (left the waiting queue)
+    first_token_s: float  #: end of the first decode iteration
+    finished_s: float  #: end of the last decode iteration
 
     def __post_init__(self) -> None:
         if not (
@@ -85,11 +85,11 @@ class ServingReport:
     """Aggregate view of one trace served on one system."""
 
     timings: tuple[RequestTiming, ...]
-    makespan_s: float           #: first arrival to last completion
-    mean_queue_depth: float     #: time-weighted waiting-queue depth
+    makespan_s: float  #: first arrival to last completion
+    mean_queue_depth: float  #: time-weighted waiting-queue depth
     max_queue_depth: int
-    n_iterations: int           #: decode iterations the engine priced
-    n_prefills: int             #: admission (prefill) events
+    n_iterations: int  #: decode iterations the engine priced
+    n_prefills: int  #: admission (prefill) events
 
     def __post_init__(self) -> None:
         if not self.timings:

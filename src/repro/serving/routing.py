@@ -1,0 +1,225 @@
+"""Front-end request routers for a cluster of serving replicas.
+
+A router is the piece of a data-parallel serving fleet that the paper's
+single-node evaluation never exercises: every arriving request must be
+pinned to one replica *before* that replica's scheduler sees it, and the
+choice shapes queueing on every node downstream.  Three classic policies:
+
+* :class:`RoundRobinRouter` — rotate through replicas; perfectly fair in
+  request count, blind to request size and replica backlog.
+* :class:`LeastOutstandingRouter` — send each request to the replica with
+  the fewest requests still predicted to be in flight.  Predictions come
+  from a caller-supplied service-time estimate (the cluster wires in the
+  same :class:`~repro.serving.costs.IterationCostModel` that prices the
+  engines, so the router never re-derives costs) applied to a virtual
+  single-server queue per replica.
+* :class:`AffinityRouter` — consistent hashing of a per-request key.  The
+  default key is the request id (a stand-in for a session id), so a
+  session's turns always land on the replica that holds its prefix/KV
+  state; keying on ``input_len`` instead groups identically-shaped
+  prompts, a proxy for prefix-cache sharing.
+
+Routers are deliberately *stateful but seed-free*: given the same trace,
+any router produces the same assignment on every run and in every worker
+process (hashes go through SHA-256, never Python's randomized ``hash``).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from collections.abc import Callable, Sequence
+
+from repro.workloads.requests import TimedRequest, Trace
+
+#: estimated seconds one replica needs to serve a request end to end
+ServiceTimeEstimate = Callable[[TimedRequest], float]
+
+#: extracts the affinity key of a request (hashed to pick a replica)
+AffinityKey = Callable[[TimedRequest], object]
+
+
+class Router(abc.ABC):
+    """Assigns each arriving request of a trace to one replica."""
+
+    #: registry name (``--set router=...`` on the CLI)
+    name: str = "?"
+
+    def __init__(self, n_replicas: int):
+        if n_replicas < 1:
+            raise ValueError("a cluster needs at least one replica")
+        self.n_replicas = n_replicas
+
+    @abc.abstractmethod
+    def choose(self, request: TimedRequest) -> int:
+        """The replica index for ``request`` (may update router state)."""
+
+    def reset(self) -> None:
+        """Forget all routing state (start of a fresh trace).
+
+        Stateful policies override this; the cluster engine calls it
+        before every run so a reused engine routes a trace identically
+        to a fresh one.
+        """
+
+    def assign(self, trace: Trace) -> tuple[int, ...]:
+        """Route a whole trace in arrival order."""
+        choices = []
+        for request in trace.requests:
+            replica = self.choose(request)
+            if not 0 <= replica < self.n_replicas:
+                raise ValueError(
+                    f"router {self.name!r} chose replica {replica} "
+                    f"of {self.n_replicas}"
+                )
+            choices.append(replica)
+        return tuple(choices)
+
+
+class RoundRobinRouter(Router):
+    """Rotate through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self, n_replicas: int):
+        super().__init__(n_replicas)
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def choose(self, request: TimedRequest) -> int:
+        del request
+        replica = self._next
+        self._next = (self._next + 1) % self.n_replicas
+        return replica
+
+
+class LeastOutstandingRouter(Router):
+    """Pick the replica with the fewest predicted-in-flight requests.
+
+    Each replica is modeled as a virtual single-server queue: a routed
+    request starts when the replica's backlog drains (or immediately if
+    idle) and occupies it for ``service_time(request)`` seconds.  At each
+    arrival the router first expires predictions that finished before the
+    arrival instant, then counts what is left.  Ties break toward the
+    lowest replica index, so the assignment is fully deterministic.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, n_replicas: int, service_time: ServiceTimeEstimate):
+        super().__init__(n_replicas)
+        self.service_time = service_time
+        self._in_flight: list[list[float]] = [[] for _ in range(n_replicas)]
+        self._busy_until = [0.0] * n_replicas
+
+    def reset(self) -> None:
+        self._in_flight = [[] for _ in range(self.n_replicas)]
+        self._busy_until = [0.0] * self.n_replicas
+
+    def outstanding(self, replica: int, now_s: float) -> int:
+        """Requests predicted to still occupy ``replica`` at ``now_s``."""
+        flight = self._in_flight[replica]
+        flight[:] = [finish for finish in flight if finish > now_s]
+        return len(flight)
+
+    def choose(self, request: TimedRequest) -> int:
+        now = request.arrival_s
+        replica = min(
+            range(self.n_replicas), key=lambda i: (self.outstanding(i, now), i)
+        )
+        begin = max(now, self._busy_until[replica])
+        finish = begin + self.service_time(request)
+        self._busy_until[replica] = finish
+        self._in_flight[replica].append(finish)
+        return replica
+
+
+def _canonical_key_bytes(value: object) -> bytes:
+    """A byte encoding of an affinity key that is stable across processes.
+
+    Only scalars (and tuples/lists of scalars) are accepted: hashing an
+    arbitrary object's ``repr`` would silently fold its memory address
+    into the digest and break the router's cross-process determinism.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return f"{type(value).__name__}:{value!r}".encode()
+    if isinstance(value, (tuple, list)):
+        return b"seq:" + b"|".join(_canonical_key_bytes(v) for v in value)
+    raise TypeError(
+        "affinity keys must be scalars (or tuples of scalars) so hashing "
+        f"is deterministic across processes; got {type(value).__name__}"
+    )
+
+
+class AffinityRouter(Router):
+    """Consistent hashing of a per-request key onto the replica ring.
+
+    The same key always lands on the same replica — the property a
+    prefix/session cache needs — and the hash is SHA-256 over a
+    canonical scalar encoding of the key, so assignments are stable
+    across processes and Python versions (unlike the builtin,
+    seed-randomized ``hash``).
+    """
+
+    name = "affinity"
+
+    def __init__(self, n_replicas: int, key: AffinityKey | None = None):
+        super().__init__(n_replicas)
+        self.key = key if key is not None else (lambda r: r.request_id)
+
+    def choose(self, request: TimedRequest) -> int:
+        digest = hashlib.sha256(
+            _canonical_key_bytes(self.key(request))
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_replicas
+
+
+#: router names accepted by :func:`build_router`, in presentation order
+ROUTER_NAMES: tuple[str, ...] = (
+    RoundRobinRouter.name,
+    LeastOutstandingRouter.name,
+    AffinityRouter.name,
+)
+
+
+def build_router(
+    name: str,
+    n_replicas: int,
+    service_time: ServiceTimeEstimate | None = None,
+    affinity_key: AffinityKey | None = None,
+) -> Router:
+    """Construct a router by registry name.
+
+    ``least-loaded`` requires ``service_time`` (the cluster passes its
+    engines' cost model); the other policies ignore it.
+    """
+    if name == RoundRobinRouter.name:
+        return RoundRobinRouter(n_replicas)
+    if name == LeastOutstandingRouter.name:
+        if service_time is None:
+            raise ValueError(
+                "the least-loaded router needs a service_time estimate"
+            )
+        return LeastOutstandingRouter(n_replicas, service_time)
+    if name == AffinityRouter.name:
+        return AffinityRouter(n_replicas, key=affinity_key)
+    raise KeyError(
+        f"unknown router {name!r}; available: {', '.join(ROUTER_NAMES)}"
+    )
+
+
+def load_imbalance(assigned_work: Sequence[float]) -> float:
+    """Max-over-mean load ratio across replicas (1.0 = perfectly even).
+
+    The standard imbalance metric of data-parallel serving: how much more
+    work the hottest replica carries than the average one.  Zero-work
+    fleets report 1.0 (nothing to imbalance).
+    """
+    if not assigned_work:
+        raise ValueError("need at least one replica")
+    total = sum(assigned_work)
+    if total == 0:
+        return 1.0
+    return max(assigned_work) / (total / len(assigned_work))

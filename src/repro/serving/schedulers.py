@@ -41,7 +41,7 @@ class RunningRequest:
 
     timed: TimedRequest
     admitted_s: float
-    stride: int               #: pricing-anchor stride (clamped per request)
+    stride: int  #: pricing-anchor stride (clamped per request)
     generated: int = 0
     first_token_s: float | None = None
     finished_s: float | None = None

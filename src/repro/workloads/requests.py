@@ -8,6 +8,7 @@ also produces randomized traces for stress tests.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -123,6 +124,35 @@ class Trace:
         """A burst trace: every request of ``batch`` arrives at once."""
         return cls(tuple(TimedRequest(r, arrival_s) for r in batch.requests))
 
+    def partition(self, labels: "Sequence[int]") -> dict[int, "Trace"]:
+        """Split by a per-request label (e.g. a router's replica choice).
+
+        Arrival order is preserved inside every part, so each part is a
+        valid trace; labels that never occur simply have no entry.
+        """
+        if len(labels) != self.n_requests:
+            raise ValueError(
+                f"got {len(labels)} labels for {self.n_requests} requests"
+            )
+        parts: dict[int, list[TimedRequest]] = {}
+        for request, label in zip(self.requests, labels):
+            parts.setdefault(int(label), []).append(request)
+        return {label: Trace(tuple(rs)) for label, rs in parts.items()}
+
+    @classmethod
+    def merge(cls, traces: "Sequence[Trace]") -> "Trace":
+        """Interleave several traces back into one arrival-ordered stream.
+
+        The stable sort keeps same-instant requests in the order of the
+        ``traces`` argument, so ``merge(partition(...).values())`` restores
+        a round-trip whenever arrivals are distinct.
+        """
+        requests = [r for trace in traces for r in trace.requests]
+        if not requests:
+            raise ValueError("cannot merge zero traces")
+        requests.sort(key=lambda r: r.arrival_s)
+        return cls(tuple(requests))
+
     def to_payload(self) -> list[dict]:
         """JSON-serializable form (see :func:`repro.serving.save_trace`)."""
         return [
@@ -147,7 +177,9 @@ class Trace:
         ))
 
 
-def uniform_batch(batch_size: int, input_len: int = 2048, output_len: int = 2048) -> Batch:
+def uniform_batch(
+    batch_size: int, input_len: int = 2048, output_len: int = 2048
+) -> Batch:
     """The paper's fixed-shape batch."""
     return Batch(tuple(
         Request(i, input_len, output_len) for i in range(batch_size)

@@ -67,8 +67,8 @@ class TestPerplexity:
         assert results["int8"] < base * 1.05
         assert results["mx8"] < base * 1.05
         assert results["mx8SR"] < base * 1.05
-        assert results["e5m2"] > base * 1.2          # swamping blow-up
-        assert results["e5m2SR"] < results["e5m2"]   # stochastic rescue
+        assert results["e5m2"] > base * 1.2  # swamping blow-up
+        assert results["e5m2SR"] < results["e5m2"]  # stochastic rescue
 
     def test_transformer_immune_to_fp8_kv(self):
         """KV caches quantize once per token: no accumulation, no damage."""

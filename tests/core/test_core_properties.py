@@ -71,7 +71,9 @@ def test_every_design_processes_all_subchunks(n, design):
     )
     run = simulate_design(config, n)
     assert run.subchunks == n * (2 if config.banks_per_unit == 2 else 1)
-    assert run.cycles >= run.subchunks / (2 if design is PimDesign.SHARED_PIPELINED else 1)
+    assert run.cycles >= run.subchunks / (
+        2 if design is PimDesign.SHARED_PIPELINED else 1
+    )
 
 
 @given(

@@ -32,7 +32,9 @@ class TestProcessSubchunk:
     def test_mismatched_operands_rejected(self, rng):
         engine = StateUpdateEngine()
         with pytest.raises(ValueError):
-            engine.process_subchunk(np.zeros(32), np.zeros(16), np.zeros(32), 0.1, np.zeros(32))
+            engine.process_subchunk(
+                np.zeros(32), np.zeros(16), np.zeros(32), 0.1, np.zeros(32)
+            )
 
     def test_iteration_counter(self, rng):
         engine = StateUpdateEngine()
@@ -82,7 +84,9 @@ class TestAttentionMode:
         k = rng.normal(size=32)
         engine = StateUpdateEngine()
         score = engine.score_subchunk(q, k)
-        assert score == pytest.approx(float(q @ k), abs=0.2 * np.linalg.norm(q) * np.linalg.norm(k) / 32 + 0.15)
+        assert score == pytest.approx(
+            float(q @ k), abs=0.2 * np.linalg.norm(q) * np.linalg.norm(k) / 32 + 0.15
+        )
 
     def test_attend_accumulates(self, rng):
         acc = np.zeros(16)

@@ -4,7 +4,13 @@ import dataclasses
 
 import pytest
 
-from repro.dram.timing import HbmConfig, HbmOrganization, TimingParams, a100_hbm, h100_hbm
+from repro.dram.timing import (
+    HbmConfig,
+    HbmOrganization,
+    TimingParams,
+    a100_hbm,
+    h100_hbm,
+)
 
 
 class TestTimingParams:

@@ -1,0 +1,137 @@
+"""Bench-report diffing: the perf gate's matching, directions, and CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.benchdiff import (
+    METRIC_DIRECTIONS,
+    diff_report_files,
+    diff_reports,
+    load_report,
+)
+from repro.experiments.cli import main
+
+
+def report(values_by_system: dict, name: str = "serving") -> dict:
+    """A minimal --json report with one varying axis (system)."""
+    return {
+        "name": name,
+        "trial_fn": "serving_slo",
+        "axes": {"system": list(values_by_system)},
+        "fixed": {"qps": 8.0},
+        "wall_seconds": 0.1,
+        "n_cached": 0,
+        "n_executed": len(values_by_system),
+        "results": [
+            {
+                "params": {"system": system, "qps": 8.0},
+                "value": value,
+                "cached": False,
+                "elapsed": 0.01,
+            }
+            for system, value in values_by_system.items()
+        ],
+    }
+
+
+BASE = {"goodput_rps": 10.0, "ttft_p99_s": 0.5}
+
+
+class TestDiffReports:
+    def test_identical_reports_pass(self):
+        diff = diff_reports(report({"GPU": BASE}), report({"GPU": BASE}))
+        assert diff.ok
+        assert len(diff.deltas) == 2
+
+    def test_goodput_drop_is_a_regression(self):
+        new = report({"GPU": {**BASE, "goodput_rps": 9.0}})  # -10%
+        diff = diff_reports(report({"GPU": BASE}), new, tolerance_pct=5.0)
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "goodput_rps"
+        assert bad.change_pct == pytest.approx(-10.0)
+
+    def test_latency_direction_is_inverted(self):
+        """TTFT growing is a regression; TTFT shrinking is an improvement."""
+        slower = report({"GPU": {**BASE, "ttft_p99_s": 0.6}})  # +20% worse
+        faster = report({"GPU": {**BASE, "ttft_p99_s": 0.4}})  # -20% better
+        assert not diff_reports(report({"GPU": BASE}), slower).ok
+        assert diff_reports(report({"GPU": BASE}), faster).ok
+
+    def test_tolerance_is_respected(self):
+        new = report({"GPU": {**BASE, "goodput_rps": 9.7}})  # -3%
+        assert diff_reports(report({"GPU": BASE}), new, tolerance_pct=5.0).ok
+        assert not diff_reports(
+            report({"GPU": BASE}), new, tolerance_pct=1.0
+        ).ok
+
+    def test_unmatched_trials_reported_not_failed(self):
+        old = report({"GPU": BASE, "Pimba": BASE})
+        new = report({"GPU": BASE, "NeuPIMs": BASE})
+        diff = diff_reports(old, new)
+        assert diff.ok
+        assert diff.unmatched_old == ("(system=Pimba)",)
+        assert diff.unmatched_new == ("(system=NeuPIMs)",)
+
+    def test_non_dict_values_skipped(self):
+        old = report({"GPU": 3.5})
+        new = report({"GPU": 9000.0})
+        assert diff_reports(old, new).ok  # direction unknown -> not gated
+
+    def test_zero_baseline_regression(self):
+        old = report({"GPU": {**BASE, "ttft_p99_s": 0.0}})
+        new = report({"GPU": {**BASE, "ttft_p99_s": 0.5}})
+        assert not diff_reports(old, new).ok
+
+    def test_metric_table_is_directional(self):
+        assert METRIC_DIRECTIONS["goodput_rps"] is True
+        assert METRIC_DIRECTIONS["ttft_p99_s"] is False
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_reports(report({"GPU": BASE}), report({"GPU": BASE}), -1.0)
+
+
+class TestCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_clean_diff(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", report({"GPU": BASE}))
+        new = self.write(tmp_path, "new.json", report({"GPU": BASE}))
+        assert main(["bench", "diff", old, new]) == 0
+        assert "OK: no regression" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", report({"GPU": BASE}))
+        new = self.write(
+            tmp_path, "new.json",
+            report({"GPU": {**BASE, "goodput_rps": 5.0}}),
+        )
+        assert main(["bench", "diff", old, new, "--tolerance", "10"]) == 1
+        assert "WORSE" in capsys.readouterr().out
+
+    def test_exit_two_on_unreadable_report(self, tmp_path, capsys):
+        bogus = self.write(tmp_path, "bogus.json", {"not": "a report"})
+        ok = self.write(tmp_path, "ok.json", report({"GPU": BASE}))
+        assert main(["bench", "diff", bogus, ok]) == 2
+        assert "not a repro --json report" in capsys.readouterr().err
+
+    def test_load_report_validates(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"results": []}))
+        assert load_report(path) == {"results": []}
+        path.write_text(json.dumps({}))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_tolerance_wide_enough_passes(self, tmp_path):
+        old = self.write(tmp_path, "old.json", report({"GPU": BASE}))
+        new = self.write(
+            tmp_path, "new.json",
+            report({"GPU": {**BASE, "goodput_rps": 9.6}}),
+        )
+        assert diff_report_files(old, new, tolerance_pct=5.0).ok

@@ -37,7 +37,9 @@ class TestFig13Latency:
             for k in (SystemKind.GPU, SystemKind.GPU_PIM, SystemKind.PIMBA)
         }
         assert t[SystemKind.GPU] / t[SystemKind.PIMBA] == pytest.approx(14.6, rel=0.25)
-        assert t[SystemKind.GPU_PIM] / t[SystemKind.PIMBA] == pytest.approx(6.9, rel=0.25)
+        assert t[SystemKind.GPU_PIM] / t[SystemKind.PIMBA] == pytest.approx(
+            6.9, rel=0.25
+        )
 
     def test_attention_reduction_smaller_than_state_update(self):
         """Paper: 6.3x/2.1x for attention — interleaving does not help
@@ -72,7 +74,9 @@ class TestFig12Throughput:
         gains = []
         for batch in (32, 128):
             base = build_system(SystemKind.GPU, "large").generation_metrics(spec, batch)
-            pimba = build_system(SystemKind.PIMBA, "large").generation_metrics(spec, batch)
+            pimba = build_system(SystemKind.PIMBA, "large").generation_metrics(
+                spec, batch
+            )
             gains.append(pimba.tokens_per_second / base.tokens_per_second)
         assert gains[1] > gains[0]
 

@@ -1,0 +1,85 @@
+"""Shipped trace corpus: files, content-hash keying, replay sweep."""
+
+import pytest
+
+from repro.serving.arrivals import load_trace
+from repro.serving.corpus import (
+    SHIPPED_TRACES,
+    pinned_trace,
+    trace_path,
+    trace_replay_slo,
+    trace_replay_spec,
+)
+from repro.serving.experiments import trace_fingerprint
+
+
+class TestShippedFiles:
+    @pytest.mark.parametrize("name", sorted(SHIPPED_TRACES))
+    def test_loads_as_valid_trace(self, name):
+        trace = load_trace(trace_path(name))
+        assert trace.n_requests >= 16
+        arrivals = [r.arrival_s for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_bursty_is_burstier_than_steady(self):
+        """The two corpus shapes are actually distinct: the bursty trace
+        packs the same request count into a far shorter span."""
+        bursty = load_trace(trace_path("bursty"))
+        steady = load_trace(trace_path("steady"))
+        assert bursty.offered_qps > 2 * steady.offered_qps
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown corpus trace"):
+            trace_path("azure")
+
+
+class TestReplaySweep:
+    def test_spec_pins_content_hashes_per_trace(self):
+        spec = trace_replay_spec()
+        assert set(spec.axes["trace"]) == {
+            pinned_trace(n) for n in SHIPPED_TRACES
+        }
+        for value in spec.axes["trace"]:
+            name, _, sha = value.partition("@")
+            assert sha == trace_fingerprint(trace_path(name))
+
+    def test_editing_a_trace_changes_only_its_own_identity(self):
+        """The hash rides in the trace axis value, so an edited file
+        re-keys its own trials and leaves the sibling trace's alone."""
+        spec = trace_replay_spec()
+        edited = spec.with_axes(
+            trace=("bursty@" + "0" * 20, pinned_trace("steady"))
+        )
+        fresh = {t.key: t.params["trace"] for t in spec.trials()}
+        stale = {t.key: t.params["trace"] for t in edited.trials()}
+        changed = set(fresh) ^ set(stale)
+        kept = set(fresh) & set(stale)
+        assert all(fresh.get(k, stale.get(k)).startswith("bursty@")
+                   for k in changed)
+        assert all(fresh[k].startswith("steady@") for k in kept)
+        assert kept  # steady trials survive a bursty edit untouched
+
+    def test_replay_trial_end_to_end(self):
+        payload = trace_replay_slo("Pimba", "steady", max_batch=8)
+        trace = load_trace(trace_path("steady"))
+        assert payload["n_requests"] == trace.n_requests
+        assert payload["n_replicas"] == 1
+
+    def test_replay_on_a_cluster(self):
+        payload = trace_replay_slo(
+            "Pimba", "bursty", replicas=2, router="least-loaded", max_batch=8
+        )
+        assert payload["n_replicas"] == 2
+        assert sum(
+            r["n_requests"] for r in payload["per_replica"]
+        ) == payload["n_requests"]
+
+    def test_stale_sha_refuses_to_serve(self):
+        with pytest.raises(ValueError, match="no longer matches"):
+            trace_replay_slo("GPU", "steady@" + "f" * 20)
+
+    def test_pinned_value_replays_end_to_end(self):
+        payload = trace_replay_slo("GPU", pinned_trace("steady"), max_batch=8)
+        assert payload["n_requests"] == load_trace(
+            trace_path("steady")
+        ).n_requests

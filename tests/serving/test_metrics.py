@@ -44,8 +44,8 @@ class TestRequestTiming:
 class TestSlo:
     def test_met_by(self):
         slo = SloSpec(ttft_s=1.5, tpot_s=0.6)
-        assert slo.met_by(timing())                 # ttft 1.0, tpot 0.5
-        assert not slo.met_by(timing(first=2.0))    # ttft 2.0
+        assert slo.met_by(timing())  # ttft 1.0, tpot 0.5
+        assert not slo.met_by(timing(first=2.0))  # ttft 2.0
         assert not SloSpec(1.5, 0.4).met_by(timing())
 
     def test_validation(self):
@@ -65,9 +65,9 @@ class TestPercentile:
 class TestServingReport:
     def make_report(self):
         timings = (
-            timing(rid=0, first=1.0, finished=3.0),                 # meets
+            timing(rid=0, first=1.0, finished=3.0),  # meets
             timing(rid=1, arrival=1.0, admitted=1.2, first=4.0,
-                   finished=6.0),                                   # ttft 3.0
+                   finished=6.0),  # ttft 3.0
         )
         return ServingReport(
             timings=timings,

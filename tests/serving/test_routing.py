@@ -1,0 +1,129 @@
+"""Routers: policy behavior, determinism, and the imbalance metric."""
+
+import pytest
+
+from repro.serving import (
+    ROUTER_NAMES,
+    AffinityRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    build_router,
+    load_imbalance,
+    poisson_trace,
+)
+from repro.workloads.requests import Request, TimedRequest, Trace
+
+
+def timed(request_id: int, arrival_s: float, input_len=64, output_len=8):
+    return TimedRequest(Request(request_id, input_len, output_len), arrival_s)
+
+
+class TestRoundRobin:
+    def test_rotates_evenly(self):
+        router = RoundRobinRouter(3)
+        trace = poisson_trace(10.0, 9, seed=0)
+        assignments = router.assign(trace)
+        assert assignments == (0, 1, 2, 0, 1, 2, 0, 1, 2)
+
+    def test_single_replica_is_identity(self):
+        router = RoundRobinRouter(1)
+        assert router.assign(poisson_trace(5.0, 7, seed=1)) == (0,) * 7
+
+
+class TestLeastOutstanding:
+    def test_spreads_simultaneous_burst(self):
+        """A burst at t=0 must fan out: each arrival sees the previous
+        ones still outstanding and picks the emptiest replica."""
+        router = LeastOutstandingRouter(4, service_time=lambda r: 100.0)
+        burst = Trace(tuple(timed(i, 0.0) for i in range(8)))
+        assert router.assign(burst) == (0, 1, 2, 3, 0, 1, 2, 3)
+
+    def test_drained_backlog_expires(self):
+        """Once predictions complete, the first replica is preferred again
+        (lowest-index tie-break) instead of blindly rotating."""
+        router = LeastOutstandingRouter(2, service_time=lambda r: 1.0)
+        assert router.choose(timed(0, 0.0)) == 0
+        assert router.choose(timed(1, 0.5)) == 1  # replica 0 still busy
+        assert router.choose(timed(2, 10.0)) == 0  # everything drained
+
+    def test_sized_requests_balance_work_not_count(self):
+        """With per-request service estimates, a giant request keeps its
+        replica 'outstanding' while short ones drain elsewhere."""
+        router = LeastOutstandingRouter(
+            2, service_time=lambda r: r.output_len * 1.0
+        )
+        assert router.choose(timed(0, 0.0, output_len=100)) == 0
+        # Short requests arriving while the giant one is resident all
+        # land on replica 1 once its own short work has drained.
+        assert router.choose(timed(1, 1.0, output_len=2)) == 1
+        assert router.choose(timed(2, 5.0, output_len=2)) == 1
+        assert router.choose(timed(3, 9.0, output_len=2)) == 1
+
+    def test_requires_service_time(self):
+        with pytest.raises(ValueError, match="service_time"):
+            build_router("least-loaded", 2)
+
+
+class TestAffinity:
+    def test_same_key_same_replica(self):
+        router = AffinityRouter(5)
+        a = router.choose(timed(7, 0.0))
+        b = router.choose(timed(7, 99.0, input_len=512))
+        assert a == b  # key defaults to request_id, not shape or time
+
+    def test_stable_across_instances(self):
+        """SHA-based hashing: a fresh router (fresh process) agrees."""
+        trace = poisson_trace(10.0, 32, seed=3)
+        assert AffinityRouter(4).assign(trace) == AffinityRouter(4).assign(trace)
+
+    def test_custom_key_groups_prefixes(self):
+        router = AffinityRouter(8, key=lambda r: r.input_len)
+        same = [router.choose(timed(i, 0.0, input_len=777)) for i in range(6)]
+        assert len(set(same)) == 1
+
+    def test_spreads_distinct_keys(self):
+        router = AffinityRouter(4)
+        trace = poisson_trace(10.0, 64, seed=0)
+        assert len(set(router.assign(trace))) > 1
+
+    def test_tuple_keys_allowed(self):
+        router = AffinityRouter(4, key=lambda r: (r.input_len, r.output_len))
+        assert router.choose(timed(0, 0.0)) == router.choose(timed(1, 3.0))
+
+    def test_unstable_key_objects_rejected(self):
+        """Hashing an arbitrary object would fold its memory address into
+        the digest and break cross-process determinism — refuse it."""
+        router = AffinityRouter(4, key=lambda r: object())
+        with pytest.raises(TypeError, match="deterministic across processes"):
+            router.choose(timed(0, 0.0))
+
+
+class TestBuildRouter:
+    def test_names_cover_registry(self):
+        for name in ROUTER_NAMES:
+            router = build_router(name, 2, service_time=lambda r: 1.0)
+            assert router.name == name
+            assert router.n_replicas == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown router"):
+            build_router("random", 2)
+
+    def test_replica_count_validated(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            build_router("round-robin", 0)
+
+
+class TestLoadImbalance:
+    def test_even_is_one(self):
+        assert load_imbalance([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_hot_replica_measured(self):
+        assert load_imbalance([9.0, 3.0, 0.0]) == pytest.approx(9.0 / 4.0)
+
+    def test_idle_fleet_reports_one(self):
+        assert load_imbalance([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance([])

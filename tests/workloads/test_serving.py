@@ -65,6 +65,42 @@ class TestTimedRequests:
             Trace(())
 
 
+class TestTracePartitionMerge:
+    def trace(self, n=6):
+        return Trace(tuple(
+            TimedRequest(Request(i, 16, 4), 0.5 * i) for i in range(n)
+        ))
+
+    def test_partition_preserves_order_within_parts(self):
+        parts = self.trace().partition([0, 1, 0, 1, 0, 1])
+        assert [r.request_id for r in parts[0].requests] == [0, 2, 4]
+        assert [r.request_id for r in parts[1].requests] == [1, 3, 5]
+
+    def test_partition_skips_unused_labels(self):
+        parts = self.trace(3).partition([2, 2, 2])
+        assert set(parts) == {2}
+        assert parts[2].n_requests == 3
+
+    def test_partition_label_count_checked(self):
+        with pytest.raises(ValueError, match="labels"):
+            self.trace(3).partition([0, 1])
+
+    def test_merge_restores_partition(self):
+        trace = self.trace()
+        parts = trace.partition([0, 1, 1, 0, 2, 0])
+        assert Trace.merge(list(parts.values())) == trace
+
+    def test_merge_orders_by_arrival(self):
+        early = Trace((TimedRequest(Request(0, 8, 2), 0.0),))
+        late = Trace((TimedRequest(Request(1, 8, 2), 5.0),))
+        merged = Trace.merge([late, early])
+        assert [r.request_id for r in merged.requests] == [0, 1]
+
+    def test_merge_of_nothing_rejected(self):
+        with pytest.raises(ValueError, match="zero traces"):
+            Trace.merge([])
+
+
 class TestServingSimulator:
     @pytest.fixture
     def sim(self):
@@ -97,7 +133,7 @@ class TestServingSimulator:
         grid keeps a start and a midpoint."""
         batch = uniform_batch(8, 512, 64)
         wide = sim.run(batch, step_stride=10**6)
-        clamped = sim.run(batch, step_stride=32)   # = clamped_stride value
+        clamped = sim.run(batch, step_stride=32)  # = clamped_stride value
         assert clamped_stride(10**6, 64) == 32
         assert len(wide.step_seconds) == 64
         assert wide.step_seconds == clamped.step_seconds
