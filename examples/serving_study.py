@@ -3,7 +3,8 @@ real traffic — TTFT/TPOT tails, queue depths, and goodput under an SLO.
 
 Built on ``repro.serving``: a seeded Poisson arrival trace is served by
 every system with FCFS continuous batching (and, for comparison, static
-batching and the HBM-capacity-aware policy on the strongest contenders).
+batching, prefill shaping — chunked prefill and prefill/decode overlap —
+and the HBM-capacity-aware policy on the strongest contenders).
 All grids run through the ``repro.experiments`` engine, so reruns are
 served from the result cache.
 
@@ -57,15 +58,17 @@ def main() -> None:
 
     # Scheduler face-off at the load where the GPU baseline saturates:
     # full static batches vs. iteration-level admission at matched slots,
-    # then HBM-capacity-aware packing (no slot cap — residency is bounded
-    # by the state+KV footprint at the storage format's true byte width,
-    # so Pimba's MX8 fits ~2x the concurrent requests of fp16).
+    # then prefill shaping (Sarathi-style chunked prefill and
+    # NeuPIMs-style overlap at a 256-token budget), and finally
+    # HBM-capacity-aware packing (no slot cap — residency is bounded by
+    # the state+KV footprint at the storage format's true byte width, so
+    # Pimba's MX8 fits ~2x the concurrent requests of fp16).
     qps = max(args.qps)
     sched_spec = ExperimentSpec(
         name="serving-study-schedulers",
         trial_fn="serving_slo",
         axes={
-            "scheduler": ("static", "fcfs"),
+            "scheduler": ("static", "fcfs", "chunked", "overlap"),
             "system": ("GPU", "Pimba"),
         },
         fixed={**fixed, "qps": qps},
@@ -81,7 +84,7 @@ def main() -> None:
     by_capacity = runner.run(capacity_spec).mapping("system")
 
     print(f"Scheduler comparison at qps={qps:.0f} (goodput req/s, ttft p99):")
-    for scheduler in ("static", "fcfs"):
+    for scheduler in ("static", "fcfs", "chunked", "overlap"):
         row = []
         for system in ("GPU", "Pimba"):
             m = by_policy[(scheduler, system)]

@@ -6,6 +6,8 @@ Usage::
     repro figure fig12 [--smoke]    # regenerate a figure's table
     repro sweep fig12 --set batch=32,64
     repro sweep serving --set system=GPU,Pimba --json results.json
+    repro sweep chunking --set chunk_budget=128,512   # prefill shaping
+    repro figure ttft_tradeoff              # chunk budget vs TTFT/TPOT
     repro bench diff OLD.json NEW.json --tolerance 5   # CI perf gate
     repro cache info                # where is the cache, how big is it?
     repro cache clear

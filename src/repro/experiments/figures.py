@@ -113,4 +113,14 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.scaling_assemble,
         render=serving_experiments.scaling_render,
     ),
+    "ttft_tradeoff": Figure(
+        name="ttft_tradeoff",
+        title=(
+            "Prefill shaping: TTFT p99 vs TPOT p99 over the chunk-budget "
+            "grid (per system and scheduler)"
+        ),
+        spec=serving_experiments.ttft_tradeoff_spec,
+        assemble=serving_experiments.ttft_tradeoff_assemble,
+        render=serving_experiments.ttft_tradeoff_render,
+    ),
 }

@@ -6,9 +6,10 @@ traffic.  A :class:`~repro.workloads.requests.Trace` of timed requests
 file) is served by a discrete-event :class:`ServingEngine` that prices
 every prefill and decode iteration on a
 :class:`~repro.perf.system.ServingSystem`, under a pluggable batching
-policy (static, FCFS continuous, or HBM-capacity-aware).  The outcome is
-a :class:`ServingReport`: TTFT/TPOT/latency percentiles, queue depths,
-throughput, and goodput under an SLO.
+policy (static, FCFS continuous, HBM-capacity-aware, Sarathi-style
+chunked prefill, or NeuPIMs-style prefill/decode overlap).  The outcome
+is a :class:`ServingReport`: TTFT/TPOT/latency percentiles, queue
+depths, throughput, and goodput under an SLO.
 
 The cluster layer (:mod:`repro.serving.cluster` /
 :mod:`repro.serving.routing`) scales this to a data-parallel fleet: a
@@ -55,9 +56,11 @@ from repro.serving.metrics import (
     percentile,
 )
 from repro.serving.schedulers import (
+    ChunkedPrefillScheduler,
     FcfsContinuousScheduler,
     MemoryAwareScheduler,
     MemoryModel,
+    OverlapScheduler,
     RunningRequest,
     Scheduler,
     StaticBatchScheduler,
@@ -93,9 +96,11 @@ __all__ = [
     "ServingReport",
     "SloSpec",
     "percentile",
+    "ChunkedPrefillScheduler",
     "FcfsContinuousScheduler",
     "MemoryAwareScheduler",
     "MemoryModel",
+    "OverlapScheduler",
     "RunningRequest",
     "Scheduler",
     "StaticBatchScheduler",

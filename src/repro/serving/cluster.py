@@ -137,8 +137,14 @@ class ClusterTrace:
             iteration_seconds=tuple(
                 s for t in active for s in t.iteration_seconds
             ),
+            decode_tokens=tuple(
+                n for t in active for n in t.decode_tokens
+            ),
             prefill_seconds=tuple(
                 s for t in active for s in t.prefill_seconds
+            ),
+            prefill_tokens=tuple(
+                n for t in active for n in t.prefill_tokens
             ),
             start_s=start,
             end_s=end,
@@ -210,6 +216,7 @@ def build_cluster(
     max_batch: int = 32,
     step_stride: int = 32,
     capacity_bytes: float | None = None,
+    chunk_budget: int = 256,
     affinity_key: AffinityKey | None = None,
 ) -> ClusterEngine:
     """A homogeneous cluster: ``n_replicas`` copies of one node design.
@@ -233,6 +240,7 @@ def build_cluster(
                 max_batch=max_batch,
                 step_stride=step_stride,
                 capacity_bytes=capacity_bytes,
+                chunk_budget=chunk_budget,
             ),
         )
         for _ in range(n_replicas)

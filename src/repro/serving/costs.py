@@ -43,6 +43,24 @@ class IterationCostModel:
             self._prefill[key] = self.system.prefill_latency(self.spec, *key)
         return self._prefill[key]
 
+    def chunk_prefill_seconds(self, batch: int, start: int, end: int) -> float:
+        """Prefill of the prompt token range ``[start, end)`` for ``batch``.
+
+        Priced as the *increment* of the cumulative prefill cost, so later
+        chunks are more expensive (their attention spans the context built
+        by earlier chunks) and a partition of ``[0, L)`` telescopes to the
+        monolithic cost: one chunk covering the whole prompt is priced
+        *identically* to :meth:`prefill_seconds` — the chunked scheduler's
+        budget->infinity equivalence with blocked FCFS rests on this.
+        """
+        if not 0 <= start < end:
+            raise ValueError("need a non-empty token range with start >= 0")
+        if start == 0:
+            return self.prefill_seconds(batch, end)
+        return self.prefill_seconds(batch, end) - self.prefill_seconds(
+            batch, start
+        )
+
     @property
     def n_priced_points(self) -> int:
         """Distinct (batch, seq) points actually sent to the cost model."""

@@ -1,17 +1,24 @@
 """Discrete-event, request-level serving engine.
 
 Advances a :class:`~repro.perf.system.ServingSystem` through a
-:class:`~repro.workloads.requests.Trace` one event at a time.  Three event
+:class:`~repro.workloads.requests.Trace` one event at a time.  Four event
 kinds move the clock:
 
 * **arrival idle** — nothing resident: jump to the next arrival;
-* **prefill** — the scheduler admits waiting requests; their prompts are
-  processed in one compute-bound prefill that blocks the whole cluster
-  (GPU and PIM execute in a blocked fashion, Section 5.6 — there is no
-  chunked-prefill overlap in the modeled systems);
-* **decode iteration** — every resident request generates one token; the
-  iteration is priced by ``perf.system`` at the scheduler-chosen
-  (batch, context) point.
+* **prefill** — the scheduler admits waiting requests; under a monolithic
+  scheduler their prompts are processed in one compute-bound prefill that
+  blocks the whole cluster (GPU and PIM execute in a blocked fashion,
+  Section 5.6);
+* **prefill chunk** — under a chunking scheduler
+  (:class:`~repro.serving.schedulers.ChunkedPrefillScheduler` /
+  :class:`~repro.serving.schedulers.OverlapScheduler`) each admitted
+  cohort's prompt is instead streamed in budget-bounded chunks; the
+  running decode batch piggybacks into the same priced iteration
+  (Sarathi-style, cost = chunk + decode) or overlaps it entirely
+  (NeuPIMs-style, cost = max(chunk, decode));
+* **decode iteration** — every fully-prefilled resident request generates
+  one token; the iteration is priced by ``perf.system`` at the
+  scheduler-chosen (batch, context) point.
 
 The engine records per-request lifecycle timestamps (arrival, admission,
 first token, completion) and aggregates them into a
@@ -37,8 +44,10 @@ class EngineTrace:
     """Raw outcome of one engine run (before metric aggregation)."""
 
     timings: tuple[RequestTiming, ...]
-    iteration_seconds: tuple[float, ...]  #: every priced decode iteration
+    iteration_seconds: tuple[float, ...]  #: every iteration that decoded
+    decode_tokens: tuple[int, ...]  #: tokens generated per such iteration
     prefill_seconds: tuple[float, ...]  #: every priced prefill event
+    prefill_tokens: tuple[int, ...]  #: prompt tokens per prefill event
     start_s: float  #: first arrival
     end_s: float  #: last completion
     mean_queue_depth: float
@@ -59,6 +68,26 @@ class EngineTrace:
         )
 
 
+@dataclasses.dataclass
+class _PrefillCohort:
+    """One admission's prompts, streamed chunk by chunk (padded cohort).
+
+    Mirrors the monolithic engine's padded-prefill semantics: the cohort
+    is priced at its batch size and *max* input length, and every member
+    becomes decodable only when the whole cohort finishes — so a single
+    full-prompt chunk reproduces blocked FCFS exactly.
+    """
+
+    members: list[RunningRequest]
+    max_input: int
+    done: int = 0  #: prompt tokens already processed
+    chunks: int = 0  #: chunk iterations taken so far
+
+    @property
+    def remaining(self) -> int:
+        return self.max_input - self.done
+
+
 class ServingEngine:
     """Serves request traces on one system under one scheduling policy."""
 
@@ -75,12 +104,16 @@ class ServingEngine:
 
     def serve(self, trace: Trace) -> EngineTrace:
         """Run ``trace`` to completion and return the raw event record."""
+        budget = self.scheduler.chunk_budget
         pending = collections.deque(trace.requests)
         queue: list = []
         running: list[RunningRequest] = []
+        cohorts: collections.deque[_PrefillCohort] = collections.deque()
         finished: list[RunningRequest] = []
         iterations: list[float] = []
+        decode_tokens: list[int] = []
         prefills: list[float] = []
+        prefill_tokens: list[int] = []
 
         start = pending[0].arrival_s
         clock = start
@@ -92,6 +125,21 @@ class ServingEngine:
             depth_area += len(queue) * dt
             clock += dt
 
+        def generate(members: list[RunningRequest]) -> int:
+            """One decode token per unfinished member, stamped at ``clock``."""
+            n = 0
+            for r in members:
+                if r.done:
+                    continue
+                r.generated += 1
+                n += 1
+                if r.generated == 1:
+                    r.first_token_s = clock
+                if r.done:
+                    r.finished_s = clock
+                    finished.append(r)
+            return n
+
         while pending or queue or running:
             while pending and pending[0].arrival_s <= clock:
                 queue.append(pending.popleft())
@@ -101,18 +149,66 @@ class ServingEngine:
             if admitted_n > 0:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
                 admitted_s = clock
-                advance(self.cost.prefill_seconds(
-                    len(admitted), max(t.input_len for t in admitted)
-                ))
-                prefills.append(clock - admitted_s)
-                running.extend(
+                cohort_input = max(t.input_len for t in admitted)
+                members = [
                     RunningRequest(
                         timed=t,
                         admitted_s=admitted_s,
                         stride=self.scheduler.request_stride(t.output_len),
+                        prefilled=budget is None,
                     )
                     for t in admitted
+                ]
+                running.extend(members)
+                if budget is None:
+                    dt = self.cost.prefill_seconds(len(admitted), cohort_input)
+                    advance(dt)
+                    prefills.append(dt)
+                    prefill_tokens.append(cohort_input)
+                else:
+                    # Chunking: no clock movement at admission — the
+                    # prompt is streamed by the chunk iterations below.
+                    cohorts.append(_PrefillCohort(members, cohort_input))
+                continue
+
+            if cohorts:
+                cohort = cohorts[0]
+                chunk = min(budget, cohort.remaining)
+                chunk_s = self.cost.chunk_prefill_seconds(
+                    len(cohort.members), cohort.done, cohort.done + chunk
                 )
+                decodable = [
+                    r for r in running if r.prefilled and not r.done
+                ]
+                # A cohort's first chunk re-forms the fused batch and runs
+                # alone (this is what collapses budget >= prompt onto the
+                # blocked FCFS engine); overlap never stalls.
+                fused = decodable if (
+                    self.scheduler.overlap_decode or cohort.chunks > 0
+                ) else []
+                if fused:
+                    batch, seq = self.scheduler.iteration_shape(fused)
+                    decode_s = self.cost.decode_seconds(batch, seq)
+                    dt = (
+                        max(chunk_s, decode_s)
+                        if self.scheduler.overlap_decode
+                        else chunk_s + decode_s
+                    )
+                else:
+                    dt = chunk_s
+                advance(dt)
+                prefills.append(chunk_s)
+                prefill_tokens.append(chunk)
+                cohort.done += chunk
+                cohort.chunks += 1
+                if fused:
+                    iterations.append(dt)
+                    decode_tokens.append(generate(fused))
+                    running = [r for r in running if not r.done]
+                if cohort.remaining == 0:
+                    for r in cohort.members:
+                        r.prefilled = True
+                    cohorts.popleft()
                 continue
 
             if running:
@@ -120,15 +216,7 @@ class ServingEngine:
                 dt = self.cost.decode_seconds(batch, seq)
                 advance(dt)
                 iterations.append(dt)
-                for r in running:
-                    if r.done:
-                        continue
-                    r.generated += 1
-                    if r.generated == 1:
-                        r.first_token_s = clock
-                    if r.done:
-                        r.finished_s = clock
-                        finished.append(r)
+                decode_tokens.append(generate(running))
                 if self.scheduler.keep_finished:
                     if all(r.done for r in running):
                         running.clear()
@@ -163,7 +251,9 @@ class ServingEngine:
         return EngineTrace(
             timings=timings,
             iteration_seconds=tuple(iterations),
+            decode_tokens=tuple(decode_tokens),
             prefill_seconds=tuple(prefills),
+            prefill_tokens=tuple(prefill_tokens),
             start_s=start,
             end_s=end,
             mean_queue_depth=depth_area / span,

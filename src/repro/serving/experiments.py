@@ -11,10 +11,18 @@ The cluster layer adds ``cluster_slo`` (the same trace served by a
 router), the ``cluster`` sweep (replicas x router x scheduler grid), and
 the ``scaling`` sweep/figure (goodput and TTFT p99 vs replica count, one
 curve per router).
+
+Prefill shaping adds the ``chunking`` sweep (chunked vs overlap
+schedulers over the chunk-budget grid on GPU and Pimba) and the
+``ttft_tradeoff`` sweep/figure: every system serves the same saturating
+trace under both prefill-shaping schedulers at every chunk budget, so
+the TTFT-p99-vs-TPOT-p99 tradeoff (and where its crossover sits per
+system) reads straight off the table.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import pathlib
 
@@ -52,6 +60,24 @@ CLUSTER_REPLICA_GRID = (1, 2, 4)
 
 #: the scaling figure's deeper replica axis
 SCALING_REPLICA_GRID = (1, 2, 4, 8)
+
+#: chunk-budget axis of the prefill-shaping sweeps, descending from one
+#: chunk per prompt (1024 covers the default 1024-token inputs, so the
+#: chunked scheduler's first point *is* the blocked FCFS baseline) down
+#: to fine-grained chunks
+CHUNK_BUDGET_GRID = (1024, 512, 256, 128, 64)
+
+#: the prefill-shaping sweeps run every system under a load where prefill
+#: stalls dominate the TTFT tail: admissions are frequent relative to the
+#: decode tail, and the slot-bound queue is what a smaller chunk budget
+#: (faster slot turnover, no blocked prefills) can actually drain
+CHUNKING_LOAD = dict(
+    qps=16.0,
+    n_requests=64,
+    input_len=1024,
+    output_len=128,
+    max_batch=8,
+)
 
 
 def build_arrival_trace(
@@ -114,6 +140,7 @@ def serving_slo(
     max_batch: int = 32,
     step_stride: int = 32,
     capacity_gib: float | None = None,
+    chunk_budget: int = 256,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -144,6 +171,7 @@ def serving_slo(
         max_batch=max_batch,
         step_stride=step_stride,
         capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
+        chunk_budget=chunk_budget,
     )
     report = ServingEngine(serving, spec, policy).run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
@@ -231,6 +259,7 @@ def cluster_slo(
     max_batch: int = 32,
     step_stride: int = 32,
     capacity_gib: float | None = None,
+    chunk_budget: int = 256,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -259,6 +288,7 @@ def cluster_slo(
         max_batch=max_batch,
         step_stride=step_stride,
         capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
+        chunk_budget=chunk_budget,
     )
     report = cluster.run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
@@ -298,7 +328,7 @@ def cluster_spec(smoke: bool = False) -> ExperimentSpec:
         axes={
             "replicas": CLUSTER_REPLICA_GRID,
             "router": ROUTER_NAMES,
-            "scheduler": ("fcfs", "memory"),
+            "scheduler": ("fcfs", "memory", "chunked", "overlap"),
         },
         fixed=CLUSTER_LOAD,
     )
@@ -352,6 +382,98 @@ def scaling_render(data: dict) -> tuple[list[str], list[list]]:
                 m["tpot_p99_s"] * 1e3,
                 m["load_imbalance"],
                 m["throughput_tokens_per_s"],
+            ])
+    return header, rows
+
+
+#: light load shared by the prefill-shaping smoke grids
+CHUNKING_SMOKE_LOAD = dict(
+    qps=16.0,
+    n_requests=12,
+    input_len=512,
+    output_len=64,
+    max_batch=4,
+)
+
+
+@sweep("chunking")
+def chunking_spec(smoke: bool = False) -> ExperimentSpec:
+    """Prefill shaping: chunked vs overlap over the chunk-budget grid.
+
+    The full grid is the GPU-vs-Pimba slice of the ``ttft_tradeoff``
+    figure grid — derived from it, so the two sweeps can never drift
+    apart and their overlapping cells share cache entries.
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="chunking",
+            trial_fn="serving_slo",
+            axes={
+                "scheduler": ("chunked", "overlap"),
+                "chunk_budget": (128,),
+            },
+            fixed={"system": "Pimba", **CHUNKING_SMOKE_LOAD},
+        )
+    return dataclasses.replace(
+        ttft_tradeoff_spec().with_axes(system=("GPU", "Pimba")),
+        name="chunking",
+    )
+
+
+@sweep("ttft_tradeoff")
+def ttft_tradeoff_spec(smoke: bool = False) -> ExperimentSpec:
+    """TTFT/TPOT tradeoff figure: chunk budget axis on every system.
+
+    The 1024-token budget covers the whole (fixed-length) prompt, so the
+    ``chunked`` curve's first point is *exactly* the blocked FCFS
+    baseline (the equivalence is tested) and every smaller budget reads
+    as a delta against it.
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="ttft_tradeoff",
+            trial_fn="serving_slo",
+            axes={"system": ("GPU", "Pimba"), "chunk_budget": (512, 128)},
+            fixed={"scheduler": "overlap", **CHUNKING_SMOKE_LOAD},
+        )
+    return ExperimentSpec(
+        name="ttft_tradeoff",
+        trial_fn="serving_slo",
+        axes={
+            "system": SERVING_SYSTEMS,
+            "scheduler": ("chunked", "overlap"),
+            "chunk_budget": CHUNK_BUDGET_GRID,
+        },
+        fixed=CHUNKING_LOAD,
+    )
+
+
+def ttft_tradeoff_assemble(report: RunReport) -> dict:
+    """Reshape to ``{(system, scheduler): [(budget, payload), ...]}``."""
+    out: dict = {}
+    mapping = report.mapping("system", "scheduler", "chunk_budget")
+    for (system, scheduler, budget), value in mapping.items():
+        out.setdefault((system, scheduler), []).append((budget, value))
+    return out
+
+
+def ttft_tradeoff_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "system", "scheduler", "chunk budget", "ttft p50 (s)",
+        "ttft p99 (s)", "tpot p99 (ms)", "goodput (req/s)", "SLO attainment",
+    ]
+    rows = []
+    for (system, scheduler), points in data.items():
+        for budget, m in points:
+            rows.append([
+                system,
+                scheduler,
+                budget,
+                m["ttft_p50_s"],
+                m["ttft_p99_s"],
+                m["tpot_p99_s"] * 1e3,
+                m.get("goodput_rps", float("nan")),
+                m.get("slo_attainment", float("nan")),
             ])
     return header, rows
 

@@ -82,20 +82,25 @@ def percentile(values: list[float] | tuple[float, ...], p: float) -> float:
 
 @dataclasses.dataclass(frozen=True)
 class ServingReport:
-    """Aggregate view of one trace served on one system."""
+    """Aggregate view of one trace served on one system.
+
+    A report may cover *zero* completed requests (e.g. a run cut while
+    everything was still queued): rates are then 0, latency percentiles
+    are NaN — never a crash — so downstream tabulation stays total.
+    """
 
     timings: tuple[RequestTiming, ...]
     makespan_s: float  #: first arrival to last completion
     mean_queue_depth: float  #: time-weighted waiting-queue depth
     max_queue_depth: int
     n_iterations: int  #: decode iterations the engine priced
-    n_prefills: int  #: admission (prefill) events
+    n_prefills: int  #: prefill events (monolithic admissions or chunks)
 
     def __post_init__(self) -> None:
-        if not self.timings:
-            raise ValueError("report must cover at least one request")
-        if self.makespan_s <= 0:
+        if self.timings and self.makespan_s <= 0:
             raise ValueError("makespan must be positive")
+        if self.makespan_s < 0:
+            raise ValueError("makespan must be non-negative")
 
     @property
     def n_requests(self) -> int:
@@ -107,31 +112,45 @@ class ServingReport:
 
     @property
     def throughput_tokens_per_s(self) -> float:
+        if not self.timings:
+            return 0.0
         return self.generated_tokens / self.makespan_s
 
     @property
     def completed_per_s(self) -> float:
+        if not self.timings:
+            return 0.0
         return self.n_requests / self.makespan_s
 
     # -- latency distributions -------------------------------------------------
 
     def ttft_percentile(self, p: float) -> float:
+        if not self.timings:
+            return float("nan")
         return percentile([t.ttft_s for t in self.timings], p)
 
     def tpot_percentile(self, p: float) -> float:
+        if not self.timings:
+            return float("nan")
         return percentile([t.tpot_s for t in self.timings], p)
 
     def e2e_percentile(self, p: float) -> float:
+        if not self.timings:
+            return float("nan")
         return percentile([t.e2e_s for t in self.timings], p)
 
     # -- SLO-conditioned metrics ----------------------------------------------
 
     def slo_attainment(self, slo: SloSpec) -> float:
-        """Fraction of requests that met the SLO."""
+        """Fraction of requests that met the SLO (0 when none completed)."""
+        if not self.timings:
+            return 0.0
         return sum(slo.met_by(t) for t in self.timings) / self.n_requests
 
     def goodput(self, slo: SloSpec) -> float:
         """SLO-meeting completions per second of makespan."""
+        if not self.timings:
+            return 0.0
         return sum(slo.met_by(t) for t in self.timings) / self.makespan_s
 
     def to_payload(self, slo: SloSpec | None = None) -> dict:

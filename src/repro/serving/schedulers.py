@@ -1,6 +1,6 @@
 """Batching policies for the request-level serving engine.
 
-Three schedulers, in increasing order of sophistication:
+Five schedulers, in increasing order of sophistication:
 
 * :class:`StaticBatchScheduler` — wait for a full batch, run it to
   completion, repeat.  Parity with the paper's evaluation shape (and with
@@ -17,6 +17,15 @@ Three schedulers, in increasing order of sophistication:
   the system precision).  Quantized systems (GPU+Q, Pimba) fit more
   concurrent requests in the same HBM, which is exactly the Fig. 15
   capacity argument at request level.
+* :class:`ChunkedPrefillScheduler` — Sarathi-style prefill shaping on top
+  of continuous batching: each admitted cohort's prompt is processed in
+  fixed-token-budget chunks, and the running decode batch piggybacks into
+  the same priced iteration instead of stalling for a monolithic prefill
+  (the paper's Section 5.6 blocked execution).
+* :class:`OverlapScheduler` — NeuPIMs-style sub-batch overlap: the
+  prefill chunk and the decode batch execute *concurrently* (prefill on
+  the compute units, decode on the PIM/memory side), so the iteration is
+  priced at the max of the two instead of their sum.
 
 A scheduler also owns the *pricing shape* of a decode iteration — which
 (batch, context) point the cost model is asked for — because that shape is
@@ -45,6 +54,10 @@ class RunningRequest:
     generated: int = 0
     first_token_s: float | None = None
     finished_s: float | None = None
+    #: prompt fully processed — False only while a chunking scheduler is
+    #: still streaming this request's prefill (it holds its slot/capacity
+    #: reservation but cannot decode yet)
+    prefilled: bool = True
 
     @property
     def input_len(self) -> int:
@@ -109,6 +122,12 @@ class Scheduler(abc.ABC):
     name: str = "?"
     #: static batching keeps finished requests in their (padded) slots
     keep_finished: bool = False
+    #: prompt tokens per prefill chunk; ``None`` means monolithic prefill
+    #: (the engine blocks the whole cluster for each admission, Section 5.6)
+    chunk_budget: int | None = None
+    #: chunk iterations run concurrently with the decode batch and are
+    #: priced at max(chunk, decode) instead of their sum (NeuPIMs overlap)
+    overlap_decode: bool = False
 
     def __init__(self, step_stride: int = 32):
         if step_stride < 1:
@@ -203,6 +222,39 @@ class FcfsContinuousScheduler(Scheduler):
         return min(len(queue), self.max_batch - len(running))
 
 
+def _validate_capacity(memory: MemoryModel, capacity_bytes: float) -> None:
+    if capacity_bytes <= memory.weights_bytes:
+        raise ValueError("capacity does not even hold the weights")
+
+
+def admit_within_capacity(
+    memory: MemoryModel,
+    capacity_bytes: float,
+    queue: Sequence[TimedRequest],
+    running: Sequence[RunningRequest],
+    limit: int,
+) -> int:
+    """Longest FCFS prefix of ``queue[:limit]`` whose reservations fit.
+
+    The single home of the Fig. 15 capacity semantics: weights plus every
+    resident request's full-final-context state+KV footprint are already
+    reserved, and each admission reserves the candidate's own footprint.
+    Shared by :class:`MemoryAwareScheduler` and the capacity-bounded
+    chunking schedulers so their accounting can never diverge.
+    """
+    free = capacity_bytes - memory.weights_bytes - sum(
+        memory.request_bytes(r.input_len, r.output_len) for r in running
+    )
+    n = 0
+    for request in queue[:max(0, limit)]:
+        need = memory.request_bytes(request.input_len, request.output_len)
+        if need > free:
+            break
+        free -= need
+        n += 1
+    return n
+
+
 class MemoryAwareScheduler(Scheduler):
     """Continuous batching bounded by HBM state+KV capacity.
 
@@ -221,17 +273,10 @@ class MemoryAwareScheduler(Scheduler):
         step_stride: int = 32,
     ):
         super().__init__(step_stride)
-        if capacity_bytes <= memory.weights_bytes:
-            raise ValueError("capacity does not even hold the weights")
+        _validate_capacity(memory, capacity_bytes)
         self.memory = memory
         self.capacity_bytes = capacity_bytes
         self.max_batch = max_batch
-
-    def _reserved(self, running: Sequence[RunningRequest]) -> float:
-        return self.memory.weights_bytes + sum(
-            self.memory.request_bytes(r.input_len, r.output_len)
-            for r in running
-        )
 
     def admit(
         self,
@@ -239,18 +284,89 @@ class MemoryAwareScheduler(Scheduler):
         running: Sequence[RunningRequest],
         more_arrivals: bool,
     ) -> int:
-        free = self.capacity_bytes - self._reserved(running)
-        slots = self.max_batch - len(running)
-        n = 0
-        for request in queue:
-            need = self.memory.request_bytes(
-                request.input_len, request.output_len
+        return admit_within_capacity(
+            self.memory,
+            self.capacity_bytes,
+            queue,
+            running,
+            self.max_batch - len(running),
+        )
+
+
+class ChunkedPrefillScheduler(FcfsContinuousScheduler):
+    """Sarathi-style chunked prefill on top of continuous batching.
+
+    Admission is FCFS (slot-bounded, and additionally capacity-bounded
+    when a :class:`MemoryModel` is attached), but each admitted cohort's
+    prompt is processed in chunks of at most ``chunk_budget`` tokens.  A
+    cohort's *first* chunk runs alone — the engine re-forms the fused
+    batch at the admission boundary, exactly the blocked execution the
+    monolithic engine models — and every later chunk piggybacks the
+    running decode batch into the same priced iteration, so decode stalls
+    for one chunk instead of one whole prefill.
+
+    ``chunk_budget`` >= the longest prompt therefore degenerates to
+    :class:`FcfsContinuousScheduler` *iteration for iteration*: one chunk
+    covers the whole cohort prompt, runs alone, and is priced identically
+    to the monolithic prefill (the chunk cost telescopes — see
+    :meth:`~repro.serving.costs.IterationCostModel.chunk_prefill_seconds`).
+    Shrinking the budget trades that blocked time for fused iterations:
+    TTFT tails fall (slots recycle faster, admissions stall less) while
+    TPOT rises (decode tokens now share iterations with chunk work).
+    """
+
+    name = "chunked"
+
+    def __init__(
+        self,
+        chunk_budget: int,
+        max_batch: int = 32,
+        step_stride: int = 32,
+        memory: MemoryModel | None = None,
+        capacity_bytes: float | None = None,
+    ):
+        super().__init__(max_batch, step_stride)
+        if chunk_budget < 1:
+            raise ValueError("chunk_budget must be positive")
+        if (memory is None) != (capacity_bytes is None):
+            raise ValueError(
+                "memory and capacity_bytes must be given together"
             )
-            if n >= slots or need > free:
-                break
-            free -= need
-            n += 1
-        return n
+        if memory is not None:
+            _validate_capacity(memory, capacity_bytes)
+        self.chunk_budget = chunk_budget
+        self.memory = memory
+        self.capacity_bytes = capacity_bytes
+
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        n = super().admit(queue, running, more_arrivals)
+        if self.memory is None or n == 0:
+            return n
+        # Capacity bound: still-prefilling requests hold their full
+        # reservation, so chunked admission can never overcommit HBM.
+        return admit_within_capacity(
+            self.memory, self.capacity_bytes, queue, running, n
+        )
+
+
+class OverlapScheduler(ChunkedPrefillScheduler):
+    """NeuPIMs-style prefill/decode sub-batch overlap.
+
+    Same chunked admission and prefill shaping as
+    :class:`ChunkedPrefillScheduler`, but the chunk and the decode batch
+    execute *concurrently* — prefill is compute-bound (GPU side), decode
+    is memory-bound (PIM side) — so every chunk iteration is priced at
+    ``max(chunk, decode)`` instead of their sum, and decode piggybacks
+    from the very first chunk (there is no re-forming stall).
+    """
+
+    name = "overlap"
+    overlap_decode = True
 
 
 def build_scheduler(
@@ -260,11 +376,15 @@ def build_scheduler(
     max_batch: int = 32,
     step_stride: int = 32,
     capacity_bytes: float | None = None,
+    chunk_budget: int = 256,
 ) -> Scheduler:
     """Construct a scheduler by registry name.
 
     ``static`` uses ``max_batch`` as its fixed batch size; ``memory``
     defaults ``capacity_bytes`` to the system's aggregate HBM capacity.
+    ``chunked``/``overlap`` split prefills into ``chunk_budget``-token
+    chunks and become capacity-bounded (instead of slot-only) when
+    ``capacity_bytes`` is given.
     """
     if name == "static":
         return StaticBatchScheduler(max_batch, step_stride)
@@ -278,6 +398,17 @@ def build_scheduler(
             max_batch=max_batch,
             step_stride=step_stride,
         )
+    if name in ("chunked", "overlap"):
+        cls = ChunkedPrefillScheduler if name == "chunked" else OverlapScheduler
+        return cls(
+            chunk_budget,
+            max_batch=max_batch,
+            step_stride=step_stride,
+            memory=None if capacity_bytes is None
+            else MemoryModel.for_system(system, spec),
+            capacity_bytes=capacity_bytes,
+        )
     raise KeyError(
-        f"unknown scheduler {name!r}; available: static, fcfs, memory"
+        f"unknown scheduler {name!r}; "
+        "available: static, fcfs, memory, chunked, overlap"
     )

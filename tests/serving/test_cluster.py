@@ -36,7 +36,9 @@ class TestSingleReplicaEquivalence:
     """A 1-replica cluster is bit-exact with the bare ServingEngine."""
 
     @pytest.mark.parametrize("router", ROUTER_NAMES)
-    @pytest.mark.parametrize("scheduler", ["static", "fcfs", "memory"])
+    @pytest.mark.parametrize(
+        "scheduler", ["static", "fcfs", "memory", "chunked", "overlap"]
+    )
     def test_bit_exact_with_bare_engine(
         self, router, scheduler, pimba_system, zamba_spec
     ):
@@ -44,11 +46,15 @@ class TestSingleReplicaEquivalence:
         bare = ServingEngine(
             pimba_system,
             zamba_spec,
-            build_scheduler(scheduler, pimba_system, zamba_spec, max_batch=8),
+            build_scheduler(
+                scheduler, pimba_system, zamba_spec,
+                max_batch=8, chunk_budget=192,
+            ),
         ).serve(trace)
         cluster = build_cluster(
             pimba_system, zamba_spec, 1,
-            router=router, scheduler=scheduler, max_batch=8,
+            router=router, scheduler=scheduler,
+            max_batch=8, chunk_budget=192,
         ).serve(trace)
         # The merge is the identity for one replica: every event list,
         # timestamp, and queue statistic is the bare engine's, bit for bit.
@@ -207,10 +213,11 @@ class TestDeterminism:
         """The cluster sweep is reproducible across ProcessPoolExecutor
         workers: a parallel uncached run returns byte-identical values to
         a serial uncached run (routers hash with SHA, never Python's
-        seed-randomized ``hash``)."""
+        seed-randomized ``hash``) — for the prefill-shaping schedulers
+        too."""
         spec = cluster_spec().with_axes(
             replicas=(1, 2), router=("round-robin", "affinity"),
-            scheduler=("fcfs",),
+            scheduler=("fcfs", "chunked", "overlap"),
         )
         spec = dataclasses.replace(
             spec,
@@ -218,7 +225,7 @@ class TestDeterminism:
         )
         serial = Runner(use_cache=False, max_workers=1).run(spec)
         parallel = Runner(use_cache=False, max_workers=4).run(spec)
-        assert len(serial) == len(parallel) == 4
+        assert len(serial) == len(parallel) == 12
         assert serial.values == parallel.values
 
 
@@ -231,4 +238,5 @@ class TestClusterSweepSpecs:
         full = cluster_spec()
         assert set(full.axes["router"]) == set(ROUTER_NAMES)
         assert 1 in full.axes["replicas"]  # the equivalence anchor
+        assert {"chunked", "overlap"} <= set(full.axes["scheduler"])
         assert set(scaling_spec().axes["router"]) == set(ROUTER_NAMES)

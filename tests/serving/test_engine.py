@@ -1,14 +1,17 @@
 """Discrete-event engine: static-batching parity, continuous batching,
-memory-aware admission, and lifecycle invariants."""
+memory-aware admission, prefill shaping, and lifecycle invariants."""
 
 import pytest
 
 from repro.models import spec_for
 from repro.perf.system import SystemKind, build_system
 from repro.serving import (
+    ChunkedPrefillScheduler,
+    EngineTrace,
     FcfsContinuousScheduler,
     MemoryAwareScheduler,
     MemoryModel,
+    OverlapScheduler,
     ServingEngine,
     StaticBatchScheduler,
     build_scheduler,
@@ -172,6 +175,173 @@ class TestMemoryAwareScheduling:
             MemoryAwareScheduler(memory, memory.weights_bytes / 2)
 
 
+class TestChunkedPrefill:
+    """Sarathi-style chunk streaming and its blocked-FCFS degeneration."""
+
+    @pytest.mark.parametrize("kind", [SystemKind.GPU, SystemKind.PIMBA])
+    @pytest.mark.parametrize("budget", [1024, 10**6])
+    def test_whole_prompt_budget_is_fcfs_bit_exact(
+        self, kind, budget, zamba_spec
+    ):
+        """Budget >= the longest prompt (1024 here): every admission is a
+        single full-prompt chunk that runs alone and is priced exactly
+        like the monolithic prefill — the EngineTrace is *identical* to
+        FCFS continuous batching, event for event (the chunked analogue
+        of the static==ServingSimulator parity)."""
+        system = build_system(kind, "small")
+        trace = poisson_trace(10.0, 24, seed=3)
+        fcfs = ServingEngine(
+            system, zamba_spec, FcfsContinuousScheduler(8)
+        ).serve(trace)
+        chunked = ServingEngine(
+            system, zamba_spec, ChunkedPrefillScheduler(budget, max_batch=8)
+        ).serve(trace)
+        assert chunked == fcfs
+
+    def test_chunk_costs_telescope_to_the_monolithic_prefill(
+        self, zamba_spec
+    ):
+        """One burst cohort, split ever finer: the chunk count scales as
+        1/budget and the chunk costs sum to the monolithic prefill."""
+        trace = static_trace(uniform_batch(8, 1024, 64))
+
+        def run(budget):
+            return engine_for(
+                SystemKind.PIMBA,
+                zamba_spec,
+                ChunkedPrefillScheduler(budget, max_batch=8),
+            ).serve(trace)
+
+        full, halved, quartered = run(1024), run(512), run(256)
+        assert len(full.prefill_seconds) == 1
+        assert len(halved.prefill_seconds) == 2
+        assert len(quartered.prefill_seconds) == 4
+        assert sum(halved.prefill_seconds) == pytest.approx(
+            sum(full.prefill_seconds)
+        )
+        assert sum(quartered.prefill_seconds) == pytest.approx(
+            sum(full.prefill_seconds)
+        )
+        assert quartered.prefill_tokens == (256, 256, 256, 256)
+        # Later chunks cost more: their attention spans the built context.
+        assert list(quartered.prefill_seconds) == sorted(
+            quartered.prefill_seconds
+        )
+
+    def test_smaller_budget_streams_more_prefill_events(self, zamba_spec):
+        trace = poisson_trace(10.0, 16, seed=0)  # 1024-token prompts
+
+        def run(budget):
+            return engine_for(
+                SystemKind.PIMBA,
+                zamba_spec,
+                ChunkedPrefillScheduler(budget, max_batch=8),
+            ).serve(trace)
+
+        full, halved, quartered = run(1024), run(512), run(256)
+        assert (
+            len(full.prefill_seconds)
+            < len(halved.prefill_seconds)
+            < len(quartered.prefill_seconds)
+        )
+        assert max(halved.prefill_tokens) <= 512
+        assert max(quartered.prefill_tokens) <= 256
+
+    def test_piggybacked_decode_raises_tpot(self, zamba_spec):
+        """Chunk iterations carry the decode batch at summed cost, so the
+        decode tail pays for prefill shaping (the Sarathi tradeoff)."""
+        trace = poisson_trace(16.0, 24, seed=1)
+        fcfs = engine_for(
+            SystemKind.GPU, zamba_spec, FcfsContinuousScheduler(8)
+        ).run(trace)
+        chunked = engine_for(
+            SystemKind.GPU,
+            zamba_spec,
+            ChunkedPrefillScheduler(128, max_batch=8),
+        ).run(trace)
+        assert chunked.tpot_percentile(99) > fcfs.tpot_percentile(99)
+
+    def test_overlap_is_never_slower_than_chunked(self, zamba_spec):
+        """max(chunk, decode) pricing vs chunk + decode pricing: the
+        overlap engine finishes the same workload no later."""
+        trace = poisson_trace(16.0, 24, seed=2)
+        chunked = engine_for(
+            SystemKind.PIMBA,
+            zamba_spec,
+            ChunkedPrefillScheduler(128, max_batch=8),
+        ).serve(trace)
+        overlap = engine_for(
+            SystemKind.PIMBA,
+            zamba_spec,
+            OverlapScheduler(128, max_batch=8),
+        ).serve(trace)
+        assert overlap.end_s <= chunked.end_s
+        assert overlap.report().ttft_percentile(99) <= (
+            chunked.report().ttft_percentile(99)
+        )
+
+    def test_capacity_bound_composes_with_chunking(self, zamba_spec):
+        """A chunked scheduler with an attached MemoryModel admits no more
+        concurrent residents than the capacity allows — prefilling
+        requests hold their reservation too."""
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        per_request = memory.request_bytes(1024, 256)
+        scheduler = ChunkedPrefillScheduler(
+            256,
+            max_batch=64,
+            memory=memory,
+            capacity_bytes=memory.weights_bytes + 2.5 * per_request,
+        )
+        run = ServingEngine(system, zamba_spec, scheduler).serve(
+            poisson_trace(100.0, 10, seed=0)
+        )
+        resident = max(
+            sum(
+                1 for t in run.timings
+                if t.admitted_s <= moment < t.finished_s
+            )
+            for moment in (t.first_token_s for t in run.timings)
+        )
+        assert resident <= 2
+
+    def test_validation(self, zamba_spec):
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        with pytest.raises(ValueError, match="chunk_budget"):
+            ChunkedPrefillScheduler(0)
+        with pytest.raises(ValueError, match="together"):
+            ChunkedPrefillScheduler(256, memory=memory)
+        with pytest.raises(ValueError, match="weights"):
+            ChunkedPrefillScheduler(
+                256, memory=memory, capacity_bytes=memory.weights_bytes / 2
+            )
+
+
+class TestEmptyEngineTrace:
+    def test_all_queued_trace_reports_without_crashing(self):
+        """Regression: a record cut while every request was still queued
+        (no completions, no prefills) must aggregate, not crash on empty
+        percentile arrays."""
+        run = EngineTrace(
+            timings=(),
+            iteration_seconds=(),
+            decode_tokens=(),
+            prefill_seconds=(),
+            prefill_tokens=(),
+            start_s=5.0,
+            end_s=5.0,
+            mean_queue_depth=4.0,
+            max_queue_depth=8,
+        )
+        report = run.report()
+        assert report.n_requests == 0
+        assert report.throughput_tokens_per_s == 0.0
+        import math
+
+        assert math.isnan(report.ttft_percentile(99))
+
+
 class TestBuildScheduler:
     def test_names(self, zamba_spec):
         system = build_system(SystemKind.PIMBA, "small")
@@ -179,12 +349,27 @@ class TestBuildScheduler:
             ("static", StaticBatchScheduler),
             ("fcfs", FcfsContinuousScheduler),
             ("memory", MemoryAwareScheduler),
+            ("chunked", ChunkedPrefillScheduler),
+            ("overlap", OverlapScheduler),
         ]:
             assert isinstance(
                 build_scheduler(name, system, zamba_spec), cls
             )
         with pytest.raises(KeyError, match="unknown scheduler"):
             build_scheduler("lifo", system, zamba_spec)
+
+    def test_chunked_capacity_opt_in(self, zamba_spec):
+        system = build_system(SystemKind.PIMBA, "small")
+        slot_only = build_scheduler(
+            "chunked", system, zamba_spec, chunk_budget=128
+        )
+        assert slot_only.chunk_budget == 128 and slot_only.memory is None
+        bounded = build_scheduler(
+            "overlap", system, zamba_spec,
+            capacity_bytes=system.capacity_bytes,
+        )
+        assert bounded.memory is not None
+        assert bounded.capacity_bytes == system.capacity_bytes
 
     def test_memory_default_capacity_is_cluster_hbm(self, zamba_spec):
         system = build_system(SystemKind.PIMBA, "small")

@@ -5,12 +5,17 @@ import pytest
 from repro.experiments import Runner
 from repro.serving.arrivals import poisson_trace, save_trace
 from repro.serving.experiments import (
+    CHUNK_BUDGET_GRID,
+    chunking_spec,
     replay_spec,
     serving_assemble,
     serving_render,
     serving_slo,
     serving_spec,
     trace_fingerprint,
+    ttft_tradeoff_assemble,
+    ttft_tradeoff_render,
+    ttft_tradeoff_spec,
 )
 
 
@@ -31,12 +36,28 @@ class TestServingSloTrial:
             serving_slo("GPU", 1.0, n_requests=2, length_dist="zipf")
 
     def test_scheduler_axis(self):
-        for scheduler in ("static", "fcfs", "memory"):
+        for scheduler in ("static", "fcfs", "memory", "chunked", "overlap"):
             payload = serving_slo(
                 "GPU", 20.0, scheduler=scheduler, n_requests=6,
-                input_len=128, output_len=16, max_batch=2,
+                input_len=128, output_len=16, max_batch=2, chunk_budget=48,
             )
             assert payload["n_requests"] == 6
+
+    def test_chunk_budget_changes_the_outcome(self):
+        """The knob reaches the engine: finer chunks -> more prefill
+        events; a whole-prompt budget reproduces plain FCFS."""
+        kwargs = dict(
+            n_requests=8, input_len=256, output_len=32, max_batch=4,
+        )
+        fine = serving_slo(
+            "Pimba", 20.0, scheduler="chunked", chunk_budget=64, **kwargs
+        )
+        whole = serving_slo(
+            "Pimba", 20.0, scheduler="chunked", chunk_budget=256, **kwargs
+        )
+        fcfs = serving_slo("Pimba", 20.0, scheduler="fcfs", **kwargs)
+        assert fine["n_prefills"] > whole["n_prefills"]
+        assert whole == fcfs
 
 
 class TestSweepSpecs:
@@ -56,6 +77,33 @@ class TestSweepSpecs:
         assert set(data) == {"GPU", "Pimba"}
         header, rows = serving_render(data)
         assert header[0] == "system" and len(rows) == 2
+
+
+class TestPrefillShapingSpecs:
+    def test_smoke_grids_are_tiny(self):
+        assert len(chunking_spec(smoke=True)) == 2
+        assert len(ttft_tradeoff_spec(smoke=True)) == 4
+
+    def test_full_grids_cover_budgets_and_schedulers(self):
+        chunking = chunking_spec()
+        assert chunking.axes["chunk_budget"] == CHUNK_BUDGET_GRID
+        assert set(chunking.axes["scheduler"]) == {"chunked", "overlap"}
+        tradeoff = ttft_tradeoff_spec()
+        assert tradeoff.axes["chunk_budget"] == CHUNK_BUDGET_GRID
+        assert len(tradeoff.axes["system"]) == 5
+        # The widest budget covers the whole fixed-length prompt, so the
+        # chunked curve is anchored on the blocked FCFS baseline.
+        assert max(CHUNK_BUDGET_GRID) == tradeoff.fixed["input_len"]
+
+    def test_tradeoff_assemble_and_render(self):
+        report = Runner(use_cache=False, max_workers=1).run(
+            ttft_tradeoff_spec(smoke=True)
+        )
+        data = ttft_tradeoff_assemble(report)
+        assert set(data) == {("GPU", "overlap"), ("Pimba", "overlap")}
+        header, rows = ttft_tradeoff_render(data)
+        assert header[:3] == ["system", "scheduler", "chunk budget"]
+        assert len(rows) == 4
 
 
 class TestTraceReplayCaching:

@@ -105,5 +105,46 @@ class TestServingReport:
         assert "goodput_rps" not in bare
 
     def test_validation(self):
-        with pytest.raises(ValueError):
-            ServingReport((), 1.0, 0.0, 0, 0, 0)
+        with pytest.raises(ValueError, match="positive"):
+            ServingReport(self.make_report().timings, 0.0, 0.0, 0, 0, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            ServingReport((), -1.0, 0.0, 0, 0, 0)
+
+
+class TestEmptyReport:
+    """Regression: a report over zero completed requests (everything
+    still queued when the record was cut) must aggregate, not crash on
+    empty percentile arrays."""
+
+    def make_empty(self):
+        return ServingReport(
+            timings=(),
+            makespan_s=0.0,
+            mean_queue_depth=3.0,
+            max_queue_depth=5,
+            n_iterations=0,
+            n_prefills=0,
+        )
+
+    def test_rates_are_zero(self):
+        report = self.make_empty()
+        assert report.n_requests == 0
+        assert report.generated_tokens == 0
+        assert report.throughput_tokens_per_s == 0.0
+        assert report.completed_per_s == 0.0
+        slo = SloSpec(1.0, 0.01)
+        assert report.slo_attainment(slo) == 0.0
+        assert report.goodput(slo) == 0.0
+
+    def test_percentiles_are_nan_not_a_crash(self):
+        import math
+
+        report = self.make_empty()
+        for metric in ("ttft", "tpot", "e2e"):
+            assert math.isnan(getattr(report, f"{metric}_percentile")(99))
+
+    def test_payload_still_serializes(self):
+        payload = self.make_empty().to_payload(SloSpec(1.0, 0.01))
+        assert payload["n_requests"] == 0
+        assert payload["goodput_rps"] == 0.0
+        assert payload["max_queue_depth"] == 5

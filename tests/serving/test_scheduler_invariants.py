@@ -1,0 +1,165 @@
+"""Scheduler-invariant harness: properties every policy must satisfy.
+
+Every scheduler — static, FCFS continuous, memory-aware, chunked
+prefill, overlap, and the capacity-bounded chunked variant — serves the
+same seeded traces, and the harness asserts the invariants that make an
+engine run *a serving run* regardless of policy:
+
+* conservation — every trace request is admitted exactly once and
+  finishes exactly once;
+* monotone clocks — arrival <= admission <= first token <= completion
+  per request, and the engine span covers every event;
+* token accounting — decode iterations generate exactly the requested
+  output tokens, no more, no less;
+* chunk budgets — no prefill event processes more prompt tokens than the
+  scheduler's chunk budget (monolithic schedulers are bounded by the
+  longest admitted prompt instead);
+* report sanity — percentiles are ordered and rates non-negative.
+"""
+
+import math
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import (
+    ChunkedPrefillScheduler,
+    MemoryModel,
+    OverlapScheduler,
+    ServingEngine,
+    build_scheduler,
+    fixed_lengths,
+    gamma_trace,
+    lognormal_lengths,
+    poisson_trace,
+)
+
+#: chunk budget used by every chunking policy under test — deliberately
+#: misaligned with the prompt lengths so partial tail chunks occur
+BUDGET = 96
+
+SCHEDULERS = ("static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm")
+
+TRACES = {
+    "poisson": lambda: poisson_trace(
+        12.0, 32, fixed_lengths(256, 32), seed=0
+    ),
+    "bursty": lambda: gamma_trace(
+        8.0, 24, cv=3.0, lengths=fixed_lengths(256, 32), seed=1
+    ),
+    "ragged": lambda: poisson_trace(
+        6.0, 24, lognormal_lengths(192, 24, 0.6), seed=2
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def zamba_spec():
+    return spec_for("Zamba2")
+
+
+@pytest.fixture(scope="module")
+def pimba_system():
+    return build_system(SystemKind.PIMBA, "small")
+
+
+def make_scheduler(name, system, spec):
+    if name == "chunked+hbm":
+        # The chunked policy riding the memory-aware capacity logic.
+        return ChunkedPrefillScheduler(
+            BUDGET,
+            max_batch=8,
+            memory=MemoryModel.for_system(system, spec),
+            capacity_bytes=system.capacity_bytes,
+        )
+    return build_scheduler(
+        name, system, spec, max_batch=8, chunk_budget=BUDGET
+    )
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+class TestSchedulerInvariants:
+    def serve(self, scheduler_name, trace_name, system, spec):
+        trace = TRACES[trace_name]()
+        engine = ServingEngine(
+            system, spec, make_scheduler(scheduler_name, system, spec)
+        )
+        return trace, engine.serve(trace)
+
+    def test_conservation(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        """Every request admitted exactly once, finished exactly once."""
+        trace, run = self.serve(
+            scheduler_name, trace_name, pimba_system, zamba_spec
+        )
+        served = sorted(t.request_id for t in run.timings)
+        assert served == [r.request_id for r in trace.requests]
+        lengths = {
+            r.request_id: (r.input_len, r.output_len)
+            for r in trace.requests
+        }
+        for t in run.timings:
+            assert (t.input_len, t.output_len) == lengths[t.request_id]
+
+    def test_monotone_clocks(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        trace, run = self.serve(
+            scheduler_name, trace_name, pimba_system, zamba_spec
+        )
+        assert run.start_s == trace.requests[0].arrival_s
+        for t in run.timings:
+            assert (
+                t.arrival_s <= t.admitted_s
+                <= t.first_token_s <= t.finished_s
+            )
+            assert t.ttft_s <= t.e2e_s
+            assert run.start_s <= t.arrival_s
+            assert t.finished_s <= run.end_s
+        assert run.end_s == max(t.finished_s for t in run.timings)
+
+    def test_token_accounting(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        """Decode iterations generate exactly the requested tokens."""
+        trace, run = self.serve(
+            scheduler_name, trace_name, pimba_system, zamba_spec
+        )
+        assert sum(run.decode_tokens) == trace.total_output_tokens
+        assert len(run.decode_tokens) == len(run.iteration_seconds)
+        assert all(n >= 1 for n in run.decode_tokens)
+
+    def test_chunk_budget_never_exceeded(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        trace, run = self.serve(
+            scheduler_name, trace_name, pimba_system, zamba_spec
+        )
+        assert len(run.prefill_tokens) == len(run.prefill_seconds)
+        assert all(n >= 1 for n in run.prefill_tokens)
+        bound = (
+            BUDGET
+            if scheduler_name in ("chunked", "overlap", "chunked+hbm")
+            else max(r.input_len for r in trace.requests)
+        )
+        assert all(n <= bound for n in run.prefill_tokens)
+        assert all(s > 0 for s in run.prefill_seconds)
+        assert all(s > 0 for s in run.iteration_seconds)
+
+    def test_report_sanity(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        _, run = self.serve(
+            scheduler_name, trace_name, pimba_system, zamba_spec
+        )
+        report = run.report()
+        assert report.makespan_s > 0
+        assert report.mean_queue_depth >= 0
+        for metric in ("ttft", "tpot", "e2e"):
+            p50 = getattr(report, f"{metric}_percentile")(50)
+            p99 = getattr(report, f"{metric}_percentile")(99)
+            assert not math.isnan(p50) and p50 <= p99
+        assert report.throughput_tokens_per_s > 0
