@@ -113,6 +113,16 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.scaling_assemble,
         render=serving_experiments.scaling_render,
     ),
+    "preemption_tradeoff": Figure(
+        name="preemption_tradeoff",
+        title=(
+            "Paged KV: goodput gained by block-granular reservation vs "
+            "latency lost to preemption thrashing (per policy and load)"
+        ),
+        spec=serving_experiments.preemption_tradeoff_spec,
+        assemble=serving_experiments.preemption_tradeoff_assemble,
+        render=serving_experiments.preemption_tradeoff_render,
+    ),
     "ttft_tradeoff": Figure(
         name="ttft_tradeoff",
         title=(

@@ -101,13 +101,41 @@ class ExperimentSpec:
         """A copy of this spec with some axes' values replaced.
 
         Axis positions (and therefore grid order) are kept; only the
-        listed axes' value tuples change.
+        listed axes' value tuples change.  A name that is *not* an axis
+        but is a parameter of the trial function is threaded through as
+        an override instead (``--set`` on the CLI lands here): one value
+        pins it in ``fixed``, several open a new axis after the existing
+        ones.  Anything else — a typo, a parameter the trial does not
+        take — still raises.
         """
         unknown = set(axes) - set(self.axes)
+        overrides = unknown & self._trial_parameters()
+        unknown -= overrides
         if unknown:
             raise KeyError(
                 f"unknown axes {sorted(unknown)}; sweep {self.name!r} has "
-                f"{list(self.axis_names)}"
+                f"{list(self.axis_names)} and trial {self.trial_fn!r} "
+                "takes no such parameter"
             )
         merged = {k: tuple(axes.get(k, v)) for k, v in self.axes.items()}
-        return dataclasses.replace(self, axes=merged)
+        fixed = dict(self.fixed)
+        for name in sorted(overrides):
+            values = tuple(axes[name])
+            fixed.pop(name, None)
+            if len(values) == 1:
+                fixed[name] = values[0]
+            else:
+                merged[name] = values
+        return dataclasses.replace(self, axes=merged, fixed=fixed)
+
+    def _trial_parameters(self) -> set[str]:
+        """Parameter names the trial function accepts (empty if unknown)."""
+        import inspect
+
+        from repro.experiments import registry  # deferred: import cycle
+
+        try:
+            fn = registry.get_trial(self.trial_fn)
+        except KeyError:
+            return set()
+        return set(inspect.signature(fn).parameters)

@@ -7,9 +7,14 @@ file) is served by a discrete-event :class:`ServingEngine` that prices
 every prefill and decode iteration on a
 :class:`~repro.perf.system.ServingSystem`, under a pluggable batching
 policy (static, FCFS continuous, HBM-capacity-aware, Sarathi-style
-chunked prefill, or NeuPIMs-style prefill/decode overlap).  The outcome
-is a :class:`ServingReport`: TTFT/TPOT/latency percentiles, queue
-depths, throughput, and goodput under an SLO.
+chunked prefill, NeuPIMs-style prefill/decode overlap, or vLLM-style
+paged KV with preempt/restore).  The outcome is a
+:class:`ServingReport`: TTFT/TPOT/latency percentiles, queue depths,
+preemption counts, throughput, and goodput under an SLO.
+
+See ``docs/ARCHITECTURE.md`` for the request lifecycle walkthrough, the
+scheduler selection table, and the bit-exactness lattice relating the
+policies to each other.
 
 The cluster layer (:mod:`repro.serving.cluster` /
 :mod:`repro.serving.routing`) scales this to a data-parallel fleet: a
@@ -40,6 +45,7 @@ from repro.serving.cluster import (
 )
 from repro.serving.costs import IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
+from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
 from repro.serving.routing import (
     ROUTER_NAMES,
     AffinityRouter,
@@ -59,8 +65,8 @@ from repro.serving.schedulers import (
     ChunkedPrefillScheduler,
     FcfsContinuousScheduler,
     MemoryAwareScheduler,
-    MemoryModel,
     OverlapScheduler,
+    PagedScheduler,
     RunningRequest,
     Scheduler,
     StaticBatchScheduler,
@@ -96,13 +102,16 @@ __all__ = [
     "ServingReport",
     "SloSpec",
     "percentile",
+    "BlockPool",
     "ChunkedPrefillScheduler",
     "FcfsContinuousScheduler",
     "MemoryAwareScheduler",
     "MemoryModel",
     "OverlapScheduler",
+    "PagedScheduler",
     "RunningRequest",
     "Scheduler",
     "StaticBatchScheduler",
     "build_scheduler",
+    "validate_capacity",
 ]

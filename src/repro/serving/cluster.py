@@ -150,6 +150,7 @@ class ClusterTrace:
             end_s=end,
             mean_queue_depth=depth_area / span,
             max_queue_depth=max(t.max_queue_depth for t in active),
+            preemptions=sum(t.preemptions for t in active),
         )
 
     def report(self) -> ClusterReport:
@@ -170,7 +171,20 @@ class ClusterTrace:
 
 
 class ClusterEngine:
-    """Drives N independent serving replicas behind a front-end router."""
+    """Drives N independent serving replicas behind a front-end router.
+
+    Composition, not simulation glue: each replica is a complete
+    :class:`~repro.serving.engine.ServingEngine` with its own scheduler
+    state (slots, HBM ledger, block pool), its own clock, and its own
+    event record; the router fixes the request→replica mapping for a
+    whole trace before any replica runs.  :meth:`serve` returns the raw
+    :class:`ClusterTrace` (assignments + per-replica
+    :class:`~repro.serving.engine.EngineTrace`\\ s); :meth:`run` merges it
+    into a :class:`ClusterReport`.  Because replicas are independent,
+    the merge is pure bookkeeping — and the 1-replica merge is the
+    identity, which is what makes a 1-replica cluster bit-exact with
+    the bare engine under every router and scheduler (tested).
+    """
 
     def __init__(self, replicas: Sequence[ServingEngine], router: Router):
         replicas = tuple(replicas)
@@ -217,13 +231,17 @@ def build_cluster(
     step_stride: int = 32,
     capacity_bytes: float | None = None,
     chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
     affinity_key: AffinityKey | None = None,
 ) -> ClusterEngine:
     """A homogeneous cluster: ``n_replicas`` copies of one node design.
 
     Every replica gets its *own* scheduler instance (and therefore its own
-    HBM reservation ledger under the ``memory`` policy); the system cost
-    model is shared because pricing is pure.  The least-loaded router's
+    HBM reservation ledger under the ``memory`` policy and its own block
+    pool under ``paged`` — ``block_size``/``preempt`` are threaded through
+    to every replica's scheduler); the system cost model is shared because
+    pricing is pure.  The least-loaded router's
     service-time estimate reuses replica 0's
     :class:`~repro.serving.costs.IterationCostModel` — one solo prefill
     plus ``output_len`` decode steps priced at the request's mid-generation
@@ -241,6 +259,8 @@ def build_cluster(
                 step_stride=step_stride,
                 capacity_bytes=capacity_bytes,
                 chunk_budget=chunk_budget,
+                block_size=block_size,
+                preempt=preempt,
             ),
         )
         for _ in range(n_replicas)

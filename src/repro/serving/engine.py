@@ -18,12 +18,19 @@ kinds move the clock:
   (NeuPIMs-style, cost = max(chunk, decode));
 * **decode iteration** — every fully-prefilled resident request generates
   one token; the iteration is priced by ``perf.system`` at the
-  scheduler-chosen (batch, context) point.
+  scheduler-chosen (batch, context) point.  Under a preemptive scheduler
+  (:class:`~repro.serving.schedulers.PagedScheduler`) the iteration first
+  grows each resident's paged KV, which may *preempt* the youngest
+  residents — their blocks are freed and they re-queue for restore;
+* **restore prefill** — a previously preempted request re-enters by
+  recomputing its KV: a solo prefill over prompt + already-generated
+  tokens, priced like any other prefill, so preemption's cost is visible
+  in the clock and the token accounting.
 
 The engine records per-request lifecycle timestamps (arrival, admission,
 first token, completion) and aggregates them into a
 :class:`~repro.serving.metrics.ServingReport` with TTFT/TPOT percentiles,
-queue depths, and SLO goodput.
+queue depths, preemption counts, and SLO goodput.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ class EngineTrace:
     end_s: float  #: last completion
     mean_queue_depth: float
     max_queue_depth: int
+    preemptions: int = 0  #: paged evictions (each implies one restore)
 
     @property
     def makespan_s(self) -> float:
@@ -65,6 +73,7 @@ class EngineTrace:
             max_queue_depth=self.max_queue_depth,
             n_iterations=len(self.iteration_seconds),
             n_prefills=len(self.prefill_seconds),
+            n_preemptions=self.preemptions,
         )
 
 
@@ -89,7 +98,21 @@ class _PrefillCohort:
 
 
 class ServingEngine:
-    """Serves request traces on one system under one scheduling policy."""
+    """Serves request traces on one system under one scheduling policy.
+
+    The engine is the *mechanism*: it owns the clock, the waiting queue,
+    the running set, and every per-request timestamp, and it prices each
+    event through an :class:`~repro.serving.costs.IterationCostModel`.
+    All *policy* — admission, iteration pricing shape, paged-KV growth,
+    preemption — is delegated to the
+    :class:`~repro.serving.schedulers.Scheduler`, whose lifecycle hooks
+    (``on_admit``/``prepare_iteration``/``can_restore``/``on_restore``/
+    ``release``) the engine calls in a fixed order each loop iteration.
+    One engine serves one trace at a time; :meth:`serve` returns the raw
+    :class:`EngineTrace` (what equivalence tests compare bit for bit)
+    and :meth:`run` its aggregated
+    :class:`~repro.serving.metrics.ServingReport`.
+    """
 
     def __init__(
         self,
@@ -108,12 +131,14 @@ class ServingEngine:
         pending = collections.deque(trace.requests)
         queue: list = []
         running: list[RunningRequest] = []
+        preempted: list[RunningRequest] = []
         cohorts: collections.deque[_PrefillCohort] = collections.deque()
         finished: list[RunningRequest] = []
         iterations: list[float] = []
         decode_tokens: list[int] = []
         prefills: list[float] = []
         prefill_tokens: list[int] = []
+        preemptions = 0
 
         start = pending[0].arrival_s
         clock = start
@@ -137,15 +162,50 @@ class ServingEngine:
                     r.first_token_s = clock
                 if r.done:
                     r.finished_s = clock
+                    self.scheduler.release(r)
                     finished.append(r)
             return n
 
-        while pending or queue or running:
+        while pending or queue or running or preempted:
             while pending and pending[0].arrival_s <= clock:
                 queue.append(pending.popleft())
             max_depth = max(max_depth, len(queue))
 
-            admitted_n = self.scheduler.admit(queue, running, bool(pending))
+            if preempted:
+                # Preempted requests are older than everything still
+                # queued, so they restore head-of-line: no fresh
+                # admission happens while one waits for blocks.
+                head = preempted[0]
+                if self.scheduler.can_restore(head, running):
+                    preempted.pop(0)
+                    self.scheduler.on_restore(head)
+                    head.prefilled = True
+                    # Re-enter in admission-age order, not at the tail:
+                    # the restored request is the oldest resident and
+                    # age decides who a preemptive scheduler protects.
+                    age = (head.admitted_s, head.timed.request_id)
+                    at = next(
+                        (
+                            i
+                            for i, r in enumerate(running)
+                            if (r.admitted_s, r.timed.request_id) > age
+                        ),
+                        len(running),
+                    )
+                    running.insert(at, head)
+                    # Recompute-style restore: re-prefill the prompt plus
+                    # every token generated before the eviction.
+                    context = head.input_len + head.generated
+                    dt = self.cost.prefill_seconds(1, context)
+                    advance(dt)
+                    prefills.append(dt)
+                    prefill_tokens.append(context)
+                    continue
+                admitted_n = 0
+            else:
+                admitted_n = self.scheduler.admit(
+                    queue, running, bool(pending)
+                )
             if admitted_n > 0:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
                 admitted_s = clock
@@ -160,6 +220,7 @@ class ServingEngine:
                     for t in admitted
                 ]
                 running.extend(members)
+                self.scheduler.on_admit(members)
                 if budget is None:
                     dt = self.cost.prefill_seconds(len(admitted), cohort_input)
                     advance(dt)
@@ -212,6 +273,23 @@ class ServingEngine:
                 continue
 
             if running:
+                victims = self.scheduler.prepare_iteration(running)
+                if victims:
+                    # Pool exhausted: the scheduler already freed the
+                    # victims' blocks; evict them from the running set
+                    # and re-queue them (oldest first) for restore.
+                    preemptions += len(victims)
+                    evicted = {id(v) for v in victims}
+                    running = [r for r in running if id(r) not in evicted]
+                    for v in victims:
+                        v.prefilled = False
+                        v.preemptions += 1
+                    preempted.extend(victims)
+                    preempted.sort(
+                        key=lambda r: (r.admitted_s, r.timed.request_id)
+                    )
+                    if not running:
+                        continue
                 batch, seq = self.scheduler.iteration_shape(running)
                 dt = self.cost.decode_seconds(batch, seq)
                 advance(dt)
@@ -244,6 +322,7 @@ class ServingEngine:
                 admitted_s=r.admitted_s,
                 first_token_s=r.first_token_s,
                 finished_s=r.finished_s,
+                preemptions=r.preemptions,
             )
             for r in sorted(finished, key=lambda r: r.timed.request_id)
         )
@@ -258,6 +337,7 @@ class ServingEngine:
             end_s=end,
             mean_queue_depth=depth_area / span,
             max_queue_depth=max_depth,
+            preemptions=preemptions,
         )
 
     def run(self, trace: Trace) -> ServingReport:

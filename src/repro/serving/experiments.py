@@ -18,6 +18,12 @@ schedulers over the chunk-budget grid on GPU and Pimba) and the
 trace under both prefill-shaping schedulers at every chunk budget, so
 the TTFT-p99-vs-TPOT-p99 tradeoff (and where its crossover sits per
 system) reads straight off the table.
+
+Paged KV adds the ``preemption_tradeoff`` sweep/figure (full-context
+vs block-granular reservation under a tight HBM budget as load rises:
+goodput gained from tighter admission vs latency lost to
+preempt/restore thrashing) and the ``paged`` sweep (block-size
+sensitivity of the paged policy at a fixed capacity-bound load).
 """
 
 from __future__ import annotations
@@ -141,6 +147,8 @@ def serving_slo(
     step_stride: int = 32,
     capacity_gib: float | None = None,
     chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -172,6 +180,8 @@ def serving_slo(
         step_stride=step_stride,
         capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
         chunk_budget=chunk_budget,
+        block_size=block_size,
+        preempt=preempt,
     )
     report = ServingEngine(serving, spec, policy).run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
@@ -260,6 +270,8 @@ def cluster_slo(
     step_stride: int = 32,
     capacity_gib: float | None = None,
     chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -289,6 +301,8 @@ def cluster_slo(
         step_stride=step_stride,
         capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
         chunk_budget=chunk_budget,
+        block_size=block_size,
+        preempt=preempt,
     )
     report = cluster.run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
@@ -474,6 +488,114 @@ def ttft_tradeoff_render(data: dict) -> tuple[list[str], list[list]]:
                 m["tpot_p99_s"] * 1e3,
                 m.get("goodput_rps", float("nan")),
                 m.get("slo_attainment", float("nan")),
+            ])
+    return header, rows
+
+
+#: QPS axis of the preemption-tradeoff figure, from untroubled (both
+#: reservation policies make identical decisions, zero preemptions) to a
+#: saturating load where the paged pool thrashes
+PAGED_QPS_GRID = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: the paged sweeps run one system against a deliberately *tight* HBM
+#: budget: the 9.7 GiB capacity holds the 9.07 GiB weights plus only ~6
+#: full-context (128, 384) request footprints, so full-context
+#: reservation queues hard while block-granular admission packs roughly
+#: twice the residents (a prompt is ~57% of the final footprint) and
+#: pays for the slack with preempt/restore thrashing instead
+PAGED_LOAD = dict(
+    system="Pimba",
+    model="Zamba2",
+    n_requests=64,
+    input_len=128,
+    output_len=384,
+    max_batch=512,
+    capacity_gib=9.7,
+    # block_size rides on the trial default (64); the ``paged`` sweep
+    # makes it an axis, so it must not be fixed here
+)
+
+
+@sweep("preemption_tradeoff")
+def preemption_tradeoff_spec(smoke: bool = False) -> ExperimentSpec:
+    """Reservation-policy face-off: full-context vs paged as load rises.
+
+    Both schedulers serve the identical seeded trace against the same
+    tight HBM budget at every QPS.  At light load the two are
+    indistinguishable (the capacity bound never binds); as load rises,
+    paged admission converts reservation slack into goodput while
+    preemptions (and their re-prefill work) push the decode tail out —
+    the slack-vs-thrashing tradeoff, one row per (policy, qps).
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="preemption_tradeoff",
+            trial_fn="serving_slo",
+            axes={"scheduler": ("memory", "paged"), "qps": (4.0,)},
+            fixed={**PAGED_LOAD, "n_requests": 16},
+        )
+    return ExperimentSpec(
+        name="preemption_tradeoff",
+        trial_fn="serving_slo",
+        axes={"scheduler": ("memory", "paged"), "qps": PAGED_QPS_GRID},
+        fixed=PAGED_LOAD,
+    )
+
+
+@sweep("paged")
+def paged_spec(smoke: bool = False) -> ExperimentSpec:
+    """Block-size sensitivity of the paged policy at a capacity-bound load.
+
+    Smaller blocks track each request's true context more tightly (less
+    rounding slack per resident) at the price of more frequent growth
+    claims; the sweep quantifies how much block granularity matters next
+    to the headline full-context-vs-paged gap.
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="paged",
+            trial_fn="serving_slo",
+            axes={"block_size": (64,)},
+            fixed={
+                **PAGED_LOAD,
+                "scheduler": "paged",
+                "qps": 4.0,
+                "n_requests": 16,
+            },
+        )
+    return ExperimentSpec(
+        name="paged",
+        trial_fn="serving_slo",
+        axes={"block_size": (16, 64, 256, 1024)},
+        fixed={**PAGED_LOAD, "scheduler": "paged", "qps": 4.0},
+    )
+
+
+def preemption_tradeoff_assemble(report: RunReport) -> dict:
+    """Reshape to ``{scheduler: [(qps, payload), ...]}`` in grid order."""
+    out: dict = {}
+    for (scheduler, qps), value in report.mapping("scheduler", "qps").items():
+        out.setdefault(scheduler, []).append((qps, value))
+    return out
+
+
+def preemption_tradeoff_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "policy", "qps", "goodput (req/s)", "SLO attainment",
+        "ttft p99 (s)", "tpot p99 (ms)", "preemptions", "prefill events",
+    ]
+    rows = []
+    for scheduler, points in data.items():
+        for qps, m in points:
+            rows.append([
+                scheduler,
+                qps,
+                m.get("goodput_rps", float("nan")),
+                m.get("slo_attainment", float("nan")),
+                m["ttft_p99_s"],
+                m["tpot_p99_s"] * 1e3,
+                m.get("n_preemptions", 0),
+                m.get("n_prefills", 0),
             ])
     return header, rows
 

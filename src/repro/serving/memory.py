@@ -1,0 +1,246 @@
+"""HBM residency accounting for the serving schedulers.
+
+Two reservation models live here, in increasing fidelity:
+
+* :class:`MemoryModel` — the footprint calculator: weights plus
+  per-request state/KV bytes at the storage format's true ``repro.quant``
+  byte widths.  The capacity schedulers price every reservation through
+  it, so admission can never diverge from the Fig. 15 memory numbers.
+* :class:`BlockPool` — a vLLM-style paged allocator on top of the same
+  byte accounting: KV is claimed in fixed-size *token blocks* as decode
+  progresses instead of being reserved at the request's full final
+  context up front.  The pool knows each request's final length (the
+  simulator does), so a request's tail block is trimmed to the exact
+  tokens it will ever hold — block granularity shows up in *when* bytes
+  are claimed, never in claiming bytes no token will use.
+
+The conservative and paged models meet in a degenerate corner that the
+tests pin down: a :class:`~repro.serving.schedulers.PagedScheduler` with
+preemption disabled reserves every request's full-final-context
+footprint at admission through the *same* :meth:`MemoryModel.request_bytes`
+arithmetic as :class:`~repro.serving.schedulers.MemoryAwareScheduler`,
+so the two engines are bit-exact, event for event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryModel:
+    """HBM residency of weights and per-request state/KV.
+
+    A thin view over the system's own footprint model
+    (:meth:`~repro.perf.system.ServingSystem.state_bytes_per_request` /
+    ``kv_bytes_per_request``), whose byte widths come from the
+    ``repro.quant`` registry's true bits-per-value — so a Pimba MX8 state
+    is half an fp16 one, an int8 state carries its 16-bit group scales,
+    and the capacity schedulers can never diverge from the Fig. 15
+    memory numbers.
+    """
+
+    spec: ModelSpec
+    system: ServingSystem
+
+    @classmethod
+    def for_system(cls, system: ServingSystem, spec: ModelSpec) -> "MemoryModel":
+        return cls(spec=spec, system=system)
+
+    @property
+    def weights_bytes(self) -> float:
+        """Cluster-wide weight bytes (always resident, never per-request)."""
+        return self.system.weights_bytes(self.spec)
+
+    def reserved_bytes(self, kv_tokens: int) -> float:
+        """Bytes one resident request holds with ``kv_tokens`` of KV claimed.
+
+        The recurrent state is context-invariant and charged in full from
+        admission on; the KV cache is charged for exactly ``kv_tokens``
+        tokens.  :meth:`request_bytes` is this at the full final context —
+        the two share one arithmetic path on purpose, so the conservative
+        and paged reservation models can be compared bit for bit.
+        """
+        if kv_tokens < 0:
+            raise ValueError(f"kv_tokens must be non-negative, got {kv_tokens}")
+        return self.system.state_bytes_per_request(
+            self.spec
+        ) + self.system.kv_bytes_per_request(self.spec, kv_tokens)
+
+    def request_bytes(self, input_len: int, output_len: int) -> float:
+        """Cluster-wide bytes one request holds resident at full context.
+
+        The full-context (conservative) reservation: KV for every token
+        the request will ever hold, claimed up front so an admitted
+        request never has to be preempted mid-decode.  Rejects negative
+        lengths — a negative ``output_len`` would silently *shrink* the
+        reservation below the prompt's own KV and overcommit the pool.
+        """
+        if input_len < 0 or output_len < 0:
+            raise ValueError(
+                "request lengths must be non-negative, got "
+                f"input_len={input_len}, output_len={output_len}"
+            )
+        return self.reserved_bytes(input_len + output_len)
+
+
+def validate_capacity(memory: MemoryModel, capacity_bytes: float) -> None:
+    """Reject an HBM budget that cannot even hold the model weights.
+
+    The error spells out both sides of the comparison in bytes *and* GiB:
+    capacity knobs are usually set in GiB (``capacity_gib`` on the CLI)
+    while footprints are computed in bytes, and a unit slip between the
+    two is exactly the mistake this guard exists to catch.
+    """
+    floor = memory.weights_bytes
+    if capacity_bytes <= floor:
+        raise ValueError(
+            f"capacity does not even hold the weights: budget "
+            f"{capacity_bytes:.0f} bytes ({capacity_bytes / 2**30:.3f} GiB) "
+            f"<= model-weights floor {floor:.0f} bytes "
+            f"({floor / 2**30:.3f} GiB)"
+        )
+
+
+@dataclasses.dataclass
+class _Holding:
+    """One resident request's share of a :class:`BlockPool`."""
+
+    blocks: int  #: whole KV blocks held (the tail one may be trimmed)
+    kv_tokens: int  #: KV tokens actually charged (<= blocks * block_size)
+    reserved: float  #: memoized ``reserved_bytes(kv_tokens)`` of this holding
+
+
+class BlockPool:
+    """Block-granular KV reservations inside one HBM budget.
+
+    The pool owns ``capacity_bytes`` minus the always-resident weights.
+    Every resident request charges its context-invariant state plus
+    ``kv_tokens`` of KV, where ``kv_tokens`` grows in steps of
+    ``block_size`` as decode proceeds (:meth:`extend`) and is trimmed to
+    the request's known final context, so the tail block never charges
+    tokens that will not exist.  All byte arithmetic goes through
+    :meth:`MemoryModel.reserved_bytes`, the same path the conservative
+    scheduler uses — which is what makes the degenerate
+    (reserve-final-context) configuration bit-exact with
+    :class:`~repro.serving.schedulers.MemoryAwareScheduler`.
+
+    Lifetime block counters (:attr:`allocated_blocks` /
+    :attr:`freed_blocks`) let the invariant tests assert that every block
+    ever claimed is returned by the time a trace drains.
+    """
+
+    def __init__(
+        self, memory: MemoryModel, capacity_bytes: float, block_size: int
+    ):
+        validate_capacity(memory, capacity_bytes)
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.memory = memory
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self._holdings: dict[int, _Holding] = {}
+        self.allocated_blocks = 0  #: lifetime blocks claimed
+        self.freed_blocks = 0  #: lifetime blocks returned
+
+    # -- accounting ---------------------------------------------------------
+
+    def blocks_for(self, context: int) -> int:
+        """Whole blocks needed to cover ``context`` KV tokens."""
+        return -(-context // self.block_size)
+
+    def covered_tokens(self, context: int, final_context: int) -> int:
+        """KV tokens charged at ``context``: whole blocks, tail trimmed.
+
+        ``ceil(context / block_size)`` blocks are claimed, but the last
+        one is trimmed to ``final_context`` (the request's known total
+        length), so at the final context exactly ``final_context`` tokens
+        are charged — the conservative footprint, to the byte.
+        """
+        return min(self.blocks_for(context) * self.block_size, final_context)
+
+    @property
+    def free_bytes(self) -> float:
+        """Unclaimed pool bytes (budget minus weights minus holdings).
+
+        Deliberately summed fresh over the holdings in admission order —
+        with each holding's bytes memoized at claim time — rather than
+        tracked incrementally: the sum then matches
+        :func:`~repro.serving.schedulers.admit_within_capacity`'s
+        arithmetic float for float, which the degenerate bit-exactness
+        with the conservative scheduler depends on.
+        """
+        return self.capacity_bytes - self.memory.weights_bytes - sum(
+            h.reserved for h in self._holdings.values()
+        )
+
+    @property
+    def blocks_in_use(self) -> int:
+        return sum(h.blocks for h in self._holdings.values())
+
+    @property
+    def n_resident(self) -> int:
+        return len(self._holdings)
+
+    def holds(self, request_id: int) -> bool:
+        return request_id in self._holdings
+
+    def fits(self, context: int, final_context: int) -> bool:
+        """Would a new request at ``context`` fit the current free pool?"""
+        return self.memory.reserved_bytes(
+            self.covered_tokens(context, final_context)
+        ) <= self.free_bytes
+
+    def feasible(self, input_len: int, output_len: int) -> bool:
+        """Could this request *ever* complete, even alone in the pool?"""
+        return self.memory.request_bytes(input_len, output_len) <= (
+            self.capacity_bytes - self.memory.weights_bytes
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def allocate(self, request_id: int, context: int, final_context: int) -> None:
+        """Claim blocks covering ``context`` for a new resident request.
+
+        The caller (scheduler admission/restore) has already checked
+        :meth:`fits`; allocating an already-resident id is a logic error.
+        """
+        if request_id in self._holdings:
+            raise ValueError(f"request {request_id} already holds blocks")
+        blocks = self.blocks_for(context)
+        kv_tokens = self.covered_tokens(context, final_context)
+        self._holdings[request_id] = _Holding(
+            blocks=blocks,
+            kv_tokens=kv_tokens,
+            reserved=self.memory.reserved_bytes(kv_tokens),
+        )
+        self.allocated_blocks += blocks
+
+    def extend(self, request_id: int, context: int, final_context: int) -> bool:
+        """Grow a holding to cover ``context``; ``False`` on exhaustion.
+
+        A no-op (``True``) while the context stays inside the already
+        claimed blocks; otherwise claims the next block(s) if the pool
+        has room, and reports failure — the preemption trigger — if not.
+        """
+        holding = self._holdings[request_id]
+        kv_tokens = self.covered_tokens(context, final_context)
+        if kv_tokens <= holding.kv_tokens:
+            return True
+        reserved = self.memory.reserved_bytes(kv_tokens)
+        if reserved - holding.reserved > self.free_bytes:
+            return False
+        blocks = self.blocks_for(context)
+        self.allocated_blocks += blocks - holding.blocks
+        holding.blocks = blocks
+        holding.kv_tokens = kv_tokens
+        holding.reserved = reserved
+        return True
+
+    def release(self, request_id: int) -> None:
+        """Return all of a request's blocks (completion or preemption)."""
+        holding = self._holdings.pop(request_id)
+        self.freed_blocks += holding.blocks

@@ -30,6 +30,7 @@ class RequestTiming:
     admitted_s: float  #: prefill start (left the waiting queue)
     first_token_s: float  #: end of the first decode iteration
     finished_s: float  #: end of the last decode iteration
+    preemptions: int = 0  #: times a paged scheduler evicted this request
 
     def __post_init__(self) -> None:
         if not (
@@ -94,7 +95,10 @@ class ServingReport:
     mean_queue_depth: float  #: time-weighted waiting-queue depth
     max_queue_depth: int
     n_iterations: int  #: decode iterations the engine priced
-    n_prefills: int  #: prefill events (monolithic admissions or chunks)
+    n_prefills: int  #: prefill events (admissions, chunks, or restores)
+    #: paged evictions (each pays a re-prefill); keyword-only so that
+    #: subclasses (ClusterReport) can keep required positional fields
+    n_preemptions: int = dataclasses.field(default=0, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.timings and self.makespan_s <= 0:
@@ -171,6 +175,7 @@ class ServingReport:
             "max_queue_depth": self.max_queue_depth,
             "n_iterations": self.n_iterations,
             "n_prefills": self.n_prefills,
+            "n_preemptions": self.n_preemptions,
         }
         if slo is not None:
             payload["slo_ttft_s"] = slo.ttft_s

@@ -40,7 +40,18 @@ AffinityKey = Callable[[TimedRequest], object]
 
 
 class Router(abc.ABC):
-    """Assigns each arriving request of a trace to one replica."""
+    """Assigns each arriving request of a trace to one replica.
+
+    The contract: :meth:`choose` is called once per request in arrival
+    order and may update internal state (backlog predictions, rotation
+    position); :meth:`reset` must return that state to its
+    freshly-constructed value, because the cluster engine reuses one
+    router across runs and a reused engine must route identically to a
+    fresh one; :meth:`assign` (final) maps a whole trace and validates
+    every choice.  Routers never see engine internals — they decide
+    *before* any scheduler runs, which is exactly the information
+    asymmetry a real fleet front end has.
+    """
 
     #: registry name (``--set router=...`` on the CLI)
     name: str = "?"

@@ -1,6 +1,6 @@
 """Batching policies for the request-level serving engine.
 
-Five schedulers, in increasing order of sophistication:
+Six schedulers, in increasing order of sophistication:
 
 * :class:`StaticBatchScheduler` — wait for a full batch, run it to
   completion, repeat.  Parity with the paper's evaluation shape (and with
@@ -26,6 +26,13 @@ Five schedulers, in increasing order of sophistication:
   prefill chunk and the decode batch execute *concurrently* (prefill on
   the compute units, decode on the PIM/memory side), so the iteration is
   priced at the max of the two instead of their sum.
+* :class:`PagedScheduler` — vLLM-style paged KV on top of the capacity
+  bound: admission reserves only the *prompt's* blocks from a
+  :class:`~repro.serving.memory.BlockPool`, decode claims one block per
+  ``block_size`` generated tokens, and on pool exhaustion the youngest
+  running request is preempted (its blocks freed, the request re-queued
+  for a recompute-style restore whose re-prefill is priced like any
+  other prefill — preemption has a visible latency cost).
 
 A scheduler also owns the *pricing shape* of a decode iteration — which
 (batch, context) point the cost model is asked for — because that shape is
@@ -40,6 +47,7 @@ from collections.abc import Sequence
 
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
+from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
 from repro.workloads.requests import TimedRequest
 from repro.workloads.serving import clamped_stride
 
@@ -54,10 +62,13 @@ class RunningRequest:
     generated: int = 0
     first_token_s: float | None = None
     finished_s: float | None = None
-    #: prompt fully processed — False only while a chunking scheduler is
-    #: still streaming this request's prefill (it holds its slot/capacity
-    #: reservation but cannot decode yet)
+    #: prompt fully processed — False while a chunking scheduler is still
+    #: streaming this request's prefill, or after a paged preemption
+    #: evicted its KV (it cannot decode until restored by a re-prefill)
     prefilled: bool = True
+    #: times this request was preempted (blocks freed, re-queued for a
+    #: recompute-style restore) by a preemptive scheduler
+    preemptions: int = 0
 
     @property
     def input_len(self) -> int:
@@ -77,46 +88,34 @@ class RunningRequest:
         return self.input_len + (self.generated // self.stride) * self.stride
 
 
-@dataclasses.dataclass(frozen=True)
-class MemoryModel:
-    """HBM residency of weights and per-request state/KV.
-
-    A thin view over the system's own footprint model
-    (:meth:`~repro.perf.system.ServingSystem.state_bytes_per_request` /
-    ``kv_bytes_per_request``), whose byte widths come from the
-    ``repro.quant`` registry's true bits-per-value — so a Pimba MX8 state
-    is half an fp16 one, an int8 state carries its 16-bit group scales,
-    and the capacity scheduler can never diverge from the Fig. 15
-    memory numbers.
-    """
-
-    spec: ModelSpec
-    system: ServingSystem
-
-    @classmethod
-    def for_system(cls, system: ServingSystem, spec: ModelSpec) -> "MemoryModel":
-        return cls(spec=spec, system=system)
-
-    @property
-    def weights_bytes(self) -> float:
-        return self.system.weights_bytes(self.spec)
-
-    def request_bytes(self, input_len: int, output_len: int) -> float:
-        """Cluster-wide bytes one request holds resident at full context.
-
-        The recurrent state is context-invariant; the KV cache is reserved
-        at the request's final length so an admitted request never has to
-        be preempted mid-decode.
-        """
-        return self.system.state_bytes_per_request(
-            self.spec
-        ) + self.system.kv_bytes_per_request(
-            self.spec, input_len + output_len
-        )
-
-
 class Scheduler(abc.ABC):
-    """Admission + pricing policy for the discrete-event engine."""
+    """Admission + pricing policy for the discrete-event engine.
+
+    The engine owns the clock and the request lifecycle; the scheduler
+    owns every *decision*.  The contract, in the order the engine calls
+    it each loop iteration:
+
+    * :meth:`admit` — how many queued requests join now.  Must be pure
+      (no state mutation): the engine may call it and then admit exactly
+      that many requests, after which :meth:`on_admit` fires once with
+      the new residents.  An admission implies the request's whole
+      reservation (slots, HBM, blocks) fits *right now* — an admitted
+      request is never silently dropped, only (for preemptive policies)
+      explicitly preempted later.
+    * :meth:`prepare_iteration` — claim whatever the next decode
+      iteration needs (paged policies grow each resident's KV by one
+      token here) and return the requests that had to be *preempted* to
+      make room, youngest first.  Non-preemptive policies return ``[]``.
+    * :meth:`iteration_shape` — the (batch, context) point the cost
+      model prices the iteration at.  Must depend only on the running
+      set passed in, so identical engine states always price
+      identically (the bit-exactness equivalences rest on this).
+    * :meth:`can_restore` / :meth:`on_restore` — gate and record the
+      re-admission of a previously preempted request (the engine prices
+      its recompute-style re-prefill).
+    * :meth:`release` — a resident request completed or was preempted;
+      return its reservation.  Called exactly once per completion.
+    """
 
     #: registry name (``--set scheduler=...`` on the CLI)
     name: str = "?"
@@ -145,7 +144,46 @@ class Scheduler(abc.ABC):
         running: Sequence[RunningRequest],
         more_arrivals: bool,
     ) -> int:
-        """How many requests to admit from the front of ``queue`` now."""
+        """How many requests to admit from the front of ``queue`` now.
+
+        Pure: must not mutate scheduler state (the engine follows up
+        with :meth:`on_admit` for exactly the returned prefix).
+        ``more_arrivals`` distinguishes a momentarily empty queue from a
+        drained trace, which is what lets static batching flush its
+        final partial batch.
+        """
+
+    def on_admit(self, admitted: Sequence[RunningRequest]) -> None:
+        """The engine just admitted these requests (claim reservations)."""
+
+    def prepare_iteration(
+        self, running: Sequence[RunningRequest]
+    ) -> list[RunningRequest]:
+        """Reserve what the next decode iteration needs; return victims.
+
+        Preemptive policies grow each resident request's KV here and, on
+        exhaustion, evict the youngest residents until the survivors
+        fit; the engine removes the returned victims from the running
+        set and re-queues them for restore.  The default (every
+        non-preemptive policy) reserves nothing and evicts nobody.
+        """
+        del running
+        return []
+
+    def can_restore(
+        self,
+        request: RunningRequest,
+        running: Sequence[RunningRequest],
+    ) -> bool:
+        """May this preempted request re-enter the running set now?"""
+        del request, running
+        return True
+
+    def on_restore(self, request: RunningRequest) -> None:
+        """The engine is re-admitting a preempted request (re-reserve)."""
+
+    def release(self, request: RunningRequest) -> None:
+        """A resident request completed — return its reservation."""
 
     def iteration_shape(
         self, running: Sequence[RunningRequest]
@@ -222,11 +260,6 @@ class FcfsContinuousScheduler(Scheduler):
         return min(len(queue), self.max_batch - len(running))
 
 
-def _validate_capacity(memory: MemoryModel, capacity_bytes: float) -> None:
-    if capacity_bytes <= memory.weights_bytes:
-        raise ValueError("capacity does not even hold the weights")
-
-
 def admit_within_capacity(
     memory: MemoryModel,
     capacity_bytes: float,
@@ -273,7 +306,7 @@ class MemoryAwareScheduler(Scheduler):
         step_stride: int = 32,
     ):
         super().__init__(step_stride)
-        _validate_capacity(memory, capacity_bytes)
+        validate_capacity(memory, capacity_bytes)
         self.memory = memory
         self.capacity_bytes = capacity_bytes
         self.max_batch = max_batch
@@ -333,7 +366,7 @@ class ChunkedPrefillScheduler(FcfsContinuousScheduler):
                 "memory and capacity_bytes must be given together"
             )
         if memory is not None:
-            _validate_capacity(memory, capacity_bytes)
+            validate_capacity(memory, capacity_bytes)
         self.chunk_budget = chunk_budget
         self.memory = memory
         self.capacity_bytes = capacity_bytes
@@ -352,6 +385,173 @@ class ChunkedPrefillScheduler(FcfsContinuousScheduler):
         return admit_within_capacity(
             self.memory, self.capacity_bytes, queue, running, n
         )
+
+
+class PagedScheduler(Scheduler):
+    """Block-granular (paged) KV reservation with preempt/restore.
+
+    The vLLM allocation model on top of the engine's capacity semantics:
+    admission charges a :class:`~repro.serving.memory.BlockPool` for the
+    *prompt's* KV blocks only (plus the context-invariant state), and
+    decode claims one more block every ``block_size`` generated tokens
+    via :meth:`prepare_iteration`.  Admission therefore packs against
+    *current* block usage instead of every resident's full-final-context
+    footprint — far more requests fit the same HBM — at the price of
+    possible exhaustion mid-decode: when a growth claim fails, the
+    youngest running request is preempted (all its blocks freed) and
+    re-queued for a recompute-style restore, whose re-prefill over
+    prompt + already-generated tokens the engine prices like any other
+    prefill.  Preemption is visible in the clock, the report
+    (``n_preemptions``), and the token accounting.
+
+    ``preempt=False`` is the degenerate, thrash-free configuration: with
+    nothing to evict on exhaustion, admission must reserve the full
+    final context up front — the same :meth:`MemoryModel.request_bytes`
+    arithmetic as :class:`MemoryAwareScheduler`, so the two engines are
+    bit-exact, event for event (tested, bare and clustered).
+    """
+
+    name = "paged"
+
+    def __init__(
+        self,
+        memory: MemoryModel,
+        capacity_bytes: float,
+        block_size: int = 64,
+        preempt: bool = True,
+        max_batch: int = 512,
+        step_stride: int = 32,
+    ):
+        super().__init__(step_stride)
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.memory = memory
+        self.capacity_bytes = capacity_bytes
+        self.pool = BlockPool(memory, capacity_bytes, block_size)
+        self.block_size = block_size
+        self.preempt = preempt
+        self.max_batch = max_batch
+
+    def _admission_context(self, input_len: int, output_len: int) -> int:
+        """KV tokens claimed at admission (or restore-from-``generated``).
+
+        Paged mode claims the prompt only; with preemption disabled the
+        full final context must be reserved up front, because exhaustion
+        would otherwise leave nothing legal to evict.
+        """
+        if self.preempt:
+            return input_len
+        return input_len + output_len
+
+    def admit(
+        self,
+        queue: Sequence[TimedRequest],
+        running: Sequence[RunningRequest],
+        more_arrivals: bool,
+    ) -> int:
+        free = self.pool.free_bytes
+        n = 0
+        for request in queue[:max(0, self.max_batch - len(running))]:
+            final = request.input_len + request.output_len
+            need = self.memory.reserved_bytes(
+                self.pool.covered_tokens(
+                    self._admission_context(
+                        request.input_len, request.output_len
+                    ),
+                    final,
+                )
+            )
+            if need > free or not self.pool.feasible(
+                request.input_len, request.output_len
+            ):
+                break
+            free -= need
+            n += 1
+        return n
+
+    def on_admit(self, admitted: Sequence[RunningRequest]) -> None:
+        for r in admitted:
+            self.pool.allocate(
+                r.timed.request_id,
+                self._admission_context(r.input_len, r.output_len),
+                r.input_len + r.output_len,
+            )
+
+    def prepare_iteration(
+        self, running: Sequence[RunningRequest]
+    ) -> list[RunningRequest]:
+        """Grow every resident by one token's KV; evict youngest on ENOSPC.
+
+        Residents grow oldest-first (admission order), and every failed
+        claim evicts the *youngest* resident — vLLM's preemption order,
+        which protects the request closest to completion.  A resident may
+        evict itself when it is the youngest; the head resident never
+        can, because admission feasibility guarantees it fits alone.
+        """
+        if not self.preempt:
+            return []  # full context reserved at admission; nothing to grow
+        victims: list[RunningRequest] = []
+        # Age order by *original* admission (restores keep their first
+        # admission stamp), not list position: a restored request is the
+        # oldest resident and must be the last evicted, never the first
+        # — else a full pool re-evicts it before it decodes a token and
+        # every restore re-prefill is pure waste.
+        alive = sorted(
+            running, key=lambda r: (r.admitted_s, r.timed.request_id)
+        )
+        i = 0
+        while i < len(alive):
+            r = alive[i]
+            final = r.input_len + r.output_len
+            self_evicted = False
+            while not self.pool.extend(
+                r.timed.request_id, r.input_len + r.generated + 1, final
+            ):
+                if len(alive) == 1:
+                    # Nothing else to evict and self-eviction would just
+                    # restore into the same exhausted pool (a livelock);
+                    # admission feasibility makes this unreachable.
+                    raise RuntimeError(
+                        "paged pool exhausted growing request "
+                        f"{r.timed.request_id} with no victim to preempt"
+                    )
+                victim = alive.pop()
+                self.pool.release(victim.timed.request_id)
+                victims.append(victim)
+                if victim is r:
+                    self_evicted = True
+                    break
+            if not self_evicted:
+                i += 1
+        return victims
+
+    def can_restore(
+        self,
+        request: RunningRequest,
+        running: Sequence[RunningRequest],
+    ) -> bool:
+        if len(running) >= self.max_batch:
+            return False
+        # +1: headroom for the token the next decode iteration writes,
+        # so a restored request always makes progress before any further
+        # exhaustion can evict anything (it grows first — it is oldest).
+        return self.pool.fits(
+            self._admission_context(request.input_len, request.output_len)
+            + request.generated
+            + 1,
+            request.input_len + request.output_len,
+        )
+
+    def on_restore(self, request: RunningRequest) -> None:
+        self.pool.allocate(
+            request.timed.request_id,
+            self._admission_context(request.input_len, request.output_len)
+            + request.generated,
+            request.input_len + request.output_len,
+        )
+
+    def release(self, request: RunningRequest) -> None:
+        self.pool.release(request.timed.request_id)
 
 
 class OverlapScheduler(ChunkedPrefillScheduler):
@@ -377,15 +577,31 @@ def build_scheduler(
     step_stride: int = 32,
     capacity_bytes: float | None = None,
     chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
 ) -> Scheduler:
     """Construct a scheduler by registry name.
 
     ``static`` uses ``max_batch`` as its fixed batch size; ``memory``
-    defaults ``capacity_bytes`` to the system's aggregate HBM capacity.
-    ``chunked``/``overlap`` split prefills into ``chunk_budget``-token
-    chunks and become capacity-bounded (instead of slot-only) when
-    ``capacity_bytes`` is given.
+    and ``paged`` default ``capacity_bytes`` to the system's aggregate
+    HBM capacity.  ``chunked``/``overlap`` split prefills into
+    ``chunk_budget``-token chunks and become capacity-bounded (instead
+    of slot-only) when ``capacity_bytes`` is given.  ``paged`` reserves
+    KV in ``block_size``-token blocks as decode progresses and preempts
+    on exhaustion unless ``preempt=False`` (which reserves the full
+    final context up front, the :class:`MemoryAwareScheduler`-bit-exact
+    degenerate mode).
     """
+    if name == "paged":
+        return PagedScheduler(
+            MemoryModel.for_system(system, spec),
+            capacity_bytes if capacity_bytes is not None
+            else system.capacity_bytes,
+            block_size=block_size,
+            preempt=preempt,
+            max_batch=max_batch,
+            step_stride=step_stride,
+        )
     if name == "static":
         return StaticBatchScheduler(max_batch, step_stride)
     if name == "fcfs":
@@ -410,5 +626,5 @@ def build_scheduler(
         )
     raise KeyError(
         f"unknown scheduler {name!r}; "
-        "available: static, fcfs, memory, chunked, overlap"
+        "available: static, fcfs, memory, chunked, overlap, paged"
     )

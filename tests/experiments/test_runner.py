@@ -63,6 +63,29 @@ def test_spec_validation():
         spec.with_axes(nope=(1,))
 
 
+def test_with_axes_threads_trial_parameters_through():
+    """``--set`` also reaches non-axis trial parameters: one value pins
+    the parameter in ``fixed``, several open a new axis — while a name
+    the trial function does not take still raises."""
+    spec = ExperimentSpec(
+        name="g",
+        trial_fn="serving_slo",
+        axes={"system": ("GPU",)},
+        fixed={"qps": 4.0},
+    )
+    pinned = spec.with_axes(scheduler=("paged",), block_size=(32,))
+    assert pinned.fixed["scheduler"] == "paged"
+    assert pinned.fixed["block_size"] == 32
+    assert pinned.axes == spec.axes
+    widened = spec.with_axes(block_size=(16, 64))
+    assert widened.axes["block_size"] == (16, 64)
+    assert "block_size" not in widened.fixed
+    refixed = spec.with_axes(qps=(8.0,))  # override an existing fixed value
+    assert refixed.fixed["qps"] == 8.0
+    with pytest.raises(KeyError, match="takes no such parameter"):
+        spec.with_axes(schedular=("paged",))
+
+
 # ---------------------------------------------------------------------------
 # cache
 # ---------------------------------------------------------------------------

@@ -37,7 +37,8 @@ class TestSingleReplicaEquivalence:
 
     @pytest.mark.parametrize("router", ROUTER_NAMES)
     @pytest.mark.parametrize(
-        "scheduler", ["static", "fcfs", "memory", "chunked", "overlap"]
+        "scheduler",
+        ["static", "fcfs", "memory", "chunked", "overlap", "paged"],
     )
     def test_bit_exact_with_bare_engine(
         self, router, scheduler, pimba_system, zamba_spec
@@ -66,6 +67,56 @@ class TestSingleReplicaEquivalence:
             "load_imbalance": 1.0,
             "per_replica": cluster.report().to_payload(SLO)["per_replica"],
         }
+
+
+class TestPagedCluster:
+    def test_degenerate_paged_cluster_is_memory_aware_bit_exact(
+        self, pimba_system, zamba_spec
+    ):
+        """The PagedScheduler==MemoryAwareScheduler degeneration (block
+        size >= max context, preemption disabled) survives the cluster
+        layer: 1-replica clusters of the two policies are identical
+        under a binding capacity bound."""
+        from repro.serving import MemoryModel
+
+        memory = MemoryModel.for_system(pimba_system, zamba_spec)
+        capacity = memory.weights_bytes + 3.3 * memory.request_bytes(
+            1024, 256
+        )
+        trace = gamma_trace(10.0, 24, cv=3.0, seed=4)
+        conservative = build_cluster(
+            pimba_system, zamba_spec, 1,
+            scheduler="memory", max_batch=8, capacity_bytes=capacity,
+        ).serve(trace)
+        paged = build_cluster(
+            pimba_system, zamba_spec, 1,
+            scheduler="paged", max_batch=8, capacity_bytes=capacity,
+            block_size=10**6, preempt=False,
+        ).serve(trace)
+        assert paged.merged() == conservative.merged()
+
+    def test_preemptions_merge_across_replicas(
+        self, pimba_system, zamba_spec
+    ):
+        """Per-replica preemption counts sum into the cluster report."""
+        from repro.serving import MemoryModel
+
+        from repro.serving import fixed_lengths
+
+        memory = MemoryModel.for_system(pimba_system, zamba_spec)
+        capacity = memory.weights_bytes + 4 * memory.request_bytes(128, 512)
+        trace = poisson_trace(40.0, 32, fixed_lengths(128, 512), seed=1)
+        run = build_cluster(
+            pimba_system, zamba_spec, 2,
+            router="round-robin", scheduler="paged",
+            max_batch=64, capacity_bytes=capacity, block_size=64,
+        ).serve(trace)
+        active = [t for t in run.replicas if t is not None]
+        assert sum(t.preemptions for t in active) > 0
+        assert run.merged().preemptions == sum(
+            t.preemptions for t in active
+        )
+        assert run.report().n_preemptions == run.merged().preemptions
 
 
 class TestClusterMerge:

@@ -12,9 +12,12 @@ from repro.serving import (
     MemoryAwareScheduler,
     MemoryModel,
     OverlapScheduler,
+    PagedScheduler,
     ServingEngine,
     StaticBatchScheduler,
     build_scheduler,
+    fixed_lengths,
+    lognormal_lengths,
     poisson_trace,
     static_trace,
 )
@@ -318,6 +321,135 @@ class TestChunkedPrefill:
             )
 
 
+class TestPagedScheduling:
+    """Block-granular KV reservation: degeneration, packing, preemption."""
+
+    @pytest.mark.parametrize("block_size", [1024 + 256, 10**6])
+    @pytest.mark.parametrize(
+        "lengths",
+        [fixed_lengths(1024, 256), lognormal_lengths(512, 128, 0.6)],
+        ids=["fixed", "ragged"],
+    )
+    def test_degenerate_is_memory_aware_bit_exact(
+        self, block_size, lengths, zamba_spec
+    ):
+        """Preemption disabled + block size >= any context: the paged
+        scheduler reserves every request's full final footprint through
+        the same arithmetic as MemoryAwareScheduler, so the EngineTraces
+        are *identical* under a deliberately binding capacity bound."""
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        capacity = memory.weights_bytes + 3.3 * memory.request_bytes(
+            1024, 256
+        )
+        trace = poisson_trace(20.0, 24, lengths, seed=0)
+        conservative = ServingEngine(
+            system,
+            zamba_spec,
+            MemoryAwareScheduler(memory, capacity, max_batch=8),
+        ).serve(trace)
+        paged = ServingEngine(
+            system,
+            zamba_spec,
+            PagedScheduler(
+                memory,
+                capacity,
+                block_size=block_size,
+                preempt=False,
+                max_batch=8,
+            ),
+        ).serve(trace)
+        assert paged == conservative
+        assert paged.preemptions == 0
+
+    def test_paged_admission_packs_more_residents(self, zamba_spec):
+        """Admitting against current block usage (prompt only) fits more
+        concurrent requests than full-context reservation in the same
+        pool — the whole point of paging."""
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        capacity = memory.weights_bytes + 4 * memory.request_bytes(128, 512)
+        trace = poisson_trace(100.0, 16, fixed_lengths(128, 512), seed=0)
+
+        def max_resident(scheduler):
+            run = ServingEngine(system, zamba_spec, scheduler).serve(trace)
+            return max(
+                sum(
+                    1 for t in run.timings
+                    if t.admitted_s <= moment < t.finished_s
+                )
+                for moment in (t.first_token_s for t in run.timings)
+            )
+
+        conservative = max_resident(
+            MemoryAwareScheduler(memory, capacity, max_batch=64)
+        )
+        paged = max_resident(
+            PagedScheduler(memory, capacity, block_size=64, max_batch=64)
+        )
+        assert conservative <= 4
+        assert paged > conservative
+
+    def test_preemption_pays_a_visible_reprefill_cost(self, zamba_spec):
+        """Thrashing is not free: the preempting run re-prefills evicted
+        requests (extra prefill events/tokens) and its clock shows it,
+        while still generating every output token exactly once."""
+        system = build_system(SystemKind.PIMBA, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        trace = poisson_trace(40.0, 24, fixed_lengths(128, 512), seed=1)
+        tight = PagedScheduler(
+            memory,
+            memory.weights_bytes + 4 * memory.request_bytes(128, 512),
+            block_size=64,
+            max_batch=64,
+        )
+        thrashing = ServingEngine(system, zamba_spec, tight).serve(trace)
+        roomy = ServingEngine(
+            system,
+            zamba_spec,
+            PagedScheduler(
+                memory, system.capacity_bytes, block_size=64, max_batch=64
+            ),
+        ).serve(trace)
+        assert thrashing.preemptions > 0
+        assert roomy.preemptions == 0
+        assert sum(thrashing.decode_tokens) == sum(roomy.decode_tokens)
+        assert sum(thrashing.prefill_tokens) > sum(roomy.prefill_tokens)
+        assert thrashing.end_s > roomy.end_s
+        # The report surfaces the same counters the raw trace carries.
+        report = thrashing.report()
+        assert report.n_preemptions == thrashing.preemptions
+        assert sum(t.preemptions for t in report.timings) == (
+            thrashing.preemptions
+        )
+
+    def test_infeasible_head_request_raises(self, zamba_spec):
+        """A request whose full footprint exceeds the whole pool is never
+        admitted (it could only thrash forever)."""
+        system = build_system(SystemKind.GPU, "small")
+        memory = MemoryModel.for_system(system, zamba_spec)
+        scheduler = PagedScheduler(
+            memory,
+            memory.weights_bytes + 0.5 * memory.request_bytes(1024, 256),
+            block_size=64,
+        )
+        with pytest.raises(RuntimeError, match="cannot place"):
+            ServingEngine(system, zamba_spec, scheduler).serve(
+                poisson_trace(1.0, 2, seed=0)
+            )
+
+    def test_build_scheduler_knobs(self, zamba_spec):
+        system = build_system(SystemKind.PIMBA, "small")
+        scheduler = build_scheduler(
+            "paged", system, zamba_spec, block_size=32, preempt=False
+        )
+        assert isinstance(scheduler, PagedScheduler)
+        assert scheduler.block_size == 32
+        assert scheduler.pool.block_size == 32
+        assert not scheduler.preempt
+        assert scheduler.capacity_bytes == system.capacity_bytes
+
+
 class TestEmptyEngineTrace:
     def test_all_queued_trace_reports_without_crashing(self):
         """Regression: a record cut while every request was still queued
@@ -351,6 +483,7 @@ class TestBuildScheduler:
             ("memory", MemoryAwareScheduler),
             ("chunked", ChunkedPrefillScheduler),
             ("overlap", OverlapScheduler),
+            ("paged", PagedScheduler),
         ]:
             assert isinstance(
                 build_scheduler(name, system, zamba_spec), cls

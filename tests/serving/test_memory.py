@@ -1,0 +1,114 @@
+"""MemoryModel footprints, capacity validation, and BlockPool accounting."""
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import BlockPool, MemoryModel, validate_capacity
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return MemoryModel.for_system(
+        build_system(SystemKind.GPU, "small"), spec_for("Zamba2")
+    )
+
+
+class TestMemoryModel:
+    def test_request_bytes_matches_reserved_at_final_context(self, memory):
+        """The conservative footprint and the paged accounting share one
+        arithmetic path — the degenerate bit-exactness rests on this."""
+        assert memory.request_bytes(256, 64) == memory.reserved_bytes(320)
+
+    def test_request_bytes_rejects_negative_lengths(self, memory):
+        """Regression: a negative output_len used to silently shrink the
+        reservation below the prompt's own KV and overcommit the pool."""
+        with pytest.raises(ValueError, match="non-negative"):
+            memory.request_bytes(-1, 64)
+        with pytest.raises(ValueError, match="non-negative"):
+            memory.request_bytes(256, -64)
+        with pytest.raises(ValueError, match="non-negative"):
+            memory.reserved_bytes(-5)
+
+    def test_validate_capacity_reports_bytes_and_gib(self, memory):
+        """Regression: the error must spell out the weights floor and the
+        offending budget in bytes *and* GiB (capacity knobs are set in
+        GiB, footprints are computed in bytes — the unit slip is the
+        whole failure mode)."""
+        bad = memory.weights_bytes / 2
+        with pytest.raises(ValueError) as err:
+            validate_capacity(memory, bad)
+        message = str(err.value)
+        assert f"{bad:.0f} bytes" in message
+        assert f"{bad / 2**30:.3f} GiB" in message
+        assert f"{memory.weights_bytes:.0f} bytes" in message
+        assert f"{memory.weights_bytes / 2**30:.3f} GiB" in message
+
+    def test_validate_capacity_accepts_roomy_budget(self, memory):
+        validate_capacity(memory, memory.weights_bytes * 2)  # no raise
+
+
+class TestBlockPool:
+    def make_pool(self, memory, full_requests: float, block_size: int):
+        return BlockPool(
+            memory,
+            memory.weights_bytes
+            + full_requests * memory.request_bytes(128, 128),
+            block_size,
+        )
+
+    def test_validation(self, memory):
+        with pytest.raises(ValueError, match="block_size"):
+            self.make_pool(memory, 4, 0)
+        with pytest.raises(ValueError, match="weights"):
+            BlockPool(memory, memory.weights_bytes / 2, 64)
+
+    def test_covered_tokens_rounds_up_and_trims_the_tail(self, memory):
+        pool = self.make_pool(memory, 4, 64)
+        # Mid-decode: whole blocks, so up to block_size - 1 tokens of
+        # rounding slack...
+        assert pool.covered_tokens(129, 1000) == 192
+        assert pool.blocks_for(129) == 3
+        # ...but never beyond the request's known final context.
+        assert pool.covered_tokens(250, 256) == 256
+        assert pool.covered_tokens(256, 256) == 256
+
+    def test_allocate_extend_release_conserve_blocks(self, memory):
+        pool = self.make_pool(memory, 4, 64)
+        pool.allocate(7, 128, 256)
+        assert pool.holds(7) and pool.n_resident == 1
+        assert pool.blocks_in_use == 2
+        free_before = pool.free_bytes
+        assert pool.extend(7, 129, 256)  # claims block 3
+        assert pool.blocks_in_use == 3
+        assert pool.free_bytes < free_before
+        assert pool.extend(7, 130, 256)  # inside block 3: no new claim
+        assert pool.blocks_in_use == 3
+        pool.release(7)
+        assert not pool.holds(7) and pool.blocks_in_use == 0
+        assert pool.allocated_blocks == pool.freed_blocks == 3
+
+    def test_extend_fails_on_exhaustion_without_side_effects(self, memory):
+        pool = self.make_pool(memory, 1.5, 64)
+        pool.allocate(0, 128, 256)
+        pool.allocate(1, 128, 256)  # pool now nearly full
+        blocks = pool.blocks_in_use
+        grew = pool.extend(0, 129, 10**6)
+        assert not grew  # a 64-token block no longer fits
+        assert pool.blocks_in_use == blocks  # failed claim left no trace
+        assert pool.allocated_blocks == blocks
+
+    def test_double_allocate_rejected(self, memory):
+        pool = self.make_pool(memory, 4, 64)
+        pool.allocate(3, 128, 256)
+        with pytest.raises(ValueError, match="already holds"):
+            pool.allocate(3, 128, 256)
+
+    def test_feasible_and_fits(self, memory):
+        pool = self.make_pool(memory, 2, 64)
+        assert pool.feasible(128, 128)
+        assert not pool.feasible(4096, 4096)
+        assert pool.fits(128, 256)
+        pool.allocate(0, 256, 256)
+        pool.allocate(1, 256, 256)
+        assert not pool.fits(128, 256)

@@ -1,9 +1,10 @@
 """Scheduler-invariant harness: properties every policy must satisfy.
 
 Every scheduler — static, FCFS continuous, memory-aware, chunked
-prefill, overlap, and the capacity-bounded chunked variant — serves the
-same seeded traces, and the harness asserts the invariants that make an
-engine run *a serving run* regardless of policy:
+prefill, overlap, the capacity-bounded chunked variant, and paged KV
+(both with a roomy pool and with a deliberately tight, preempting one)
+— serves the same seeded traces, and the harness asserts the invariants
+that make an engine run *a serving run* regardless of policy:
 
 * conservation — every trace request is admitted exactly once and
   finishes exactly once;
@@ -13,8 +14,13 @@ engine run *a serving run* regardless of policy:
   output tokens, no more, no less;
 * chunk budgets — no prefill event processes more prompt tokens than the
   scheduler's chunk budget (monolithic schedulers are bounded by the
-  longest admitted prompt instead);
+  longest admitted prompt; preemptive ones additionally by the longest
+  possible restore re-prefill, prompt + all-but-one output tokens);
 * report sanity — percentiles are ordered and rates non-negative.
+
+Preemption-specific invariants (blocks conserved at drain, preempted
+requests complete exactly once, token accounting includes the re-prefill
+work) live in :class:`TestPagedPreemptionInvariants`.
 """
 
 import math
@@ -27,6 +33,7 @@ from repro.serving import (
     ChunkedPrefillScheduler,
     MemoryModel,
     OverlapScheduler,
+    PagedScheduler,
     ServingEngine,
     build_scheduler,
     fixed_lengths,
@@ -39,7 +46,10 @@ from repro.serving import (
 #: misaligned with the prompt lengths so partial tail chunks occur
 BUDGET = 96
 
-SCHEDULERS = ("static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm")
+SCHEDULERS = (
+    "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
+    "paged", "paged+tight",
+)
 
 TRACES = {
     "poisson": lambda: poisson_trace(
@@ -72,6 +82,18 @@ def make_scheduler(name, system, spec):
             max_batch=8,
             memory=MemoryModel.for_system(system, spec),
             capacity_bytes=system.capacity_bytes,
+        )
+    if name == "paged+tight":
+        # A pool that holds three admission-time footprints but not
+        # three full contexts (blocks finer than the decode length), so
+        # growth claims fail mid-decode and the preempt/restore path is
+        # exercised by the shared invariants.
+        memory = MemoryModel.for_system(system, spec)
+        return PagedScheduler(
+            memory,
+            memory.weights_bytes + 2.93 * memory.request_bytes(256, 32),
+            block_size=16,
+            max_batch=8,
         )
     return build_scheduler(
         name, system, spec, max_batch=8, chunk_budget=BUDGET
@@ -140,11 +162,16 @@ class TestSchedulerInvariants:
         )
         assert len(run.prefill_tokens) == len(run.prefill_seconds)
         assert all(n >= 1 for n in run.prefill_tokens)
-        bound = (
-            BUDGET
-            if scheduler_name in ("chunked", "overlap", "chunked+hbm")
-            else max(r.input_len for r in trace.requests)
-        )
+        if scheduler_name in ("chunked", "overlap", "chunked+hbm"):
+            bound = BUDGET
+        elif scheduler_name.startswith("paged"):
+            # A restore re-prefills prompt + already-generated tokens;
+            # a request is never preempted after its final token.
+            bound = max(
+                r.input_len + r.output_len - 1 for r in trace.requests
+            )
+        else:
+            bound = max(r.input_len for r in trace.requests)
         assert all(n <= bound for n in run.prefill_tokens)
         assert all(s > 0 for s in run.prefill_seconds)
         assert all(s > 0 for s in run.iteration_seconds)
@@ -163,3 +190,85 @@ class TestSchedulerInvariants:
             p99 = getattr(report, f"{metric}_percentile")(99)
             assert not math.isnan(p50) and p50 <= p99
         assert report.throughput_tokens_per_s > 0
+        assert report.n_preemptions == run.preemptions
+        if not scheduler_name.startswith("paged"):
+            assert run.preemptions == 0
+
+
+#: a generation-heavy workload against a pool that holds only a few
+#: full contexts: paged admission over-commits on purpose, so decode
+#: growth *must* preempt (asserted) and every preemption path is walked
+def preempting_setup(system, spec):
+    memory = MemoryModel.for_system(system, spec)
+    scheduler = PagedScheduler(
+        memory,
+        memory.weights_bytes + 4 * memory.request_bytes(128, 512),
+        block_size=64,
+        max_batch=64,
+    )
+    trace = poisson_trace(40.0, 24, fixed_lengths(128, 512), seed=1)
+    return scheduler, trace
+
+
+class TestPagedPreemptionInvariants:
+    """What must hold when the paged pool actually thrashes."""
+
+    @pytest.fixture()
+    def served(self, pimba_system, zamba_spec):
+        scheduler, trace = preempting_setup(pimba_system, zamba_spec)
+        run = ServingEngine(pimba_system, zamba_spec, scheduler).serve(trace)
+        assert run.preemptions > 0  # the setup must actually thrash
+        return scheduler, trace, run
+
+    def test_blocks_conserved_at_drain(self, served):
+        """Every block ever claimed is freed once the trace drains."""
+        scheduler, _, _ = served
+        pool = scheduler.pool
+        assert pool.n_resident == 0
+        assert pool.blocks_in_use == 0
+        assert pool.allocated_blocks == pool.freed_blocks
+        assert pool.allocated_blocks > 0
+
+    def test_no_restore_starvation(self, served):
+        """Eviction is by admission age, restores re-enter in age order
+        with one token of growth headroom — so a restored request always
+        decodes before it can be evicted again.  Regression: positional
+        eviction + tail re-insertion once ping-ponged a single request
+        through 46 zero-progress evict/restore cycles on this workload."""
+        _, _, run = served
+        assert max(t.preemptions for t in run.timings) <= 5
+
+    def test_preempted_requests_complete_exactly_once(self, served):
+        scheduler, trace, run = served
+        served_ids = sorted(t.request_id for t in run.timings)
+        assert served_ids == [r.request_id for r in trace.requests]
+        assert sum(t.preemptions for t in run.timings) == run.preemptions
+        preempted = [t for t in run.timings if t.preemptions > 0]
+        assert preempted  # thrashing touched real requests...
+        # ...and their timestamps still tell one coherent story each.
+        for t in preempted:
+            assert t.arrival_s <= t.admitted_s <= t.first_token_s <= t.finished_s
+
+    def test_token_accounting_includes_reprefill_work(
+        self, served, pimba_system, zamba_spec
+    ):
+        """Each output token is decoded exactly once, but prefill work
+        *exceeds* the no-preemption baseline by the restore re-prefills
+        (prompt + already-generated tokens per eviction)."""
+        scheduler, trace, run = served
+        assert sum(run.decode_tokens) == trace.total_output_tokens
+        roomy = PagedScheduler(
+            scheduler.memory,
+            pimba_system.capacity_bytes,
+            block_size=64,
+            max_batch=64,
+        )
+        baseline = ServingEngine(pimba_system, zamba_spec, roomy).serve(trace)
+        assert baseline.preemptions == 0
+        assert len(run.prefill_seconds) > len(baseline.prefill_seconds)
+        assert sum(run.prefill_tokens) > sum(baseline.prefill_tokens)
+        # Restores re-prefill beyond the prompt: some prefill event is
+        # bigger than any admission cohort's padded prompt could be.
+        assert max(run.prefill_tokens) > max(
+            r.input_len for r in trace.requests
+        )

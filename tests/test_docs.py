@@ -1,0 +1,81 @@
+"""Docs stay true: links resolve, the README catalog matches the registry.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``), so
+a renamed sweep or a broken relative link fails `pytest` locally before
+it fails in CI — plus unit tests of the checker itself, so the checker
+failing to *detect* breakage is also a test failure.
+"""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestRepositoryDocs:
+    def test_all_markdown_links_resolve(self):
+        assert check_docs.check_links(ROOT) == []
+
+    def test_readme_catalog_matches_registry(self):
+        assert check_docs.check_registry_sync(ROOT) == []
+
+    def test_architecture_doc_exists_and_is_linked(self):
+        """The acceptance criterion in one place: docs/ARCHITECTURE.md
+        exists and both README and ROADMAP point at it."""
+        assert (ROOT / "docs" / "ARCHITECTURE.md").exists()
+        assert "docs/ARCHITECTURE.md" in (ROOT / "README.md").read_text()
+        assert "docs/ARCHITECTURE.md" in (ROOT / "ROADMAP.md").read_text()
+
+
+class TestCheckerDetectsBreakage:
+    def test_broken_relative_link_is_reported(self, tmp_path):
+        (tmp_path / "a.md").write_text("see [missing](nope.md)")
+        errors = check_docs.check_links(tmp_path)
+        assert len(errors) == 1 and "nope.md" in errors[0]
+
+    def test_broken_heading_anchor_is_reported(self, tmp_path):
+        (tmp_path / "a.md").write_text("# Only Heading\n")
+        (tmp_path / "b.md").write_text("[x](a.md#other-heading)")
+        errors = check_docs.check_links(tmp_path)
+        assert len(errors) == 1 and "missing heading" in errors[0]
+
+    def test_valid_links_pass(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "# My Heading\n[self](#my-heading) [ext](https://example.com)\n"
+        )
+        (tmp_path / "b.md").write_text("[x](a.md#my-heading) [y](a.md)")
+        assert check_docs.check_links(tmp_path) == []
+
+    def test_links_inside_code_fences_are_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```\n[not a link](nope.md)\n```\nreal text\n"
+        )
+        assert check_docs.check_links(tmp_path) == []
+
+    def test_table_names_parses_first_column(self):
+        readme = (
+            "### Sweeps\n\n"
+            "| sweep | what | run |\n| --- | --- | --- |\n"
+            "| `alpha` | a | `repro sweep alpha` |\n"
+            "| `beta` | b | `repro sweep beta` |\n\n"
+            "### Trial functions\n\n| trial |\n| --- |\n| `gamma` |\n"
+        )
+        assert check_docs.table_names(readme, "### Sweeps") == {
+            "alpha", "beta",
+        }
+        assert check_docs.table_names(readme, "### Trial functions") == {
+            "gamma"
+        }
+
+    def test_registry_names_cover_all_kinds(self):
+        names = check_docs.registry_names()
+        assert {"figures", "sweeps", "trials"} == set(names)
+        assert "preemption_tradeoff" in names["figures"]
+        assert "paged" in names["sweeps"]
+        assert "serving_slo" in names["trials"]

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown links resolve, README matches the registry.
+
+Two families of checks, both run by the CI ``docs`` job and by
+``tests/test_docs.py`` (so `pytest` catches drift before CI does):
+
+* **Links** — every relative markdown link in every ``*.md`` file of the
+  repository must point at an existing file (and, for ``#fragment``
+  links into markdown files, at an existing heading).  External links
+  (``http``/``https``/``mailto``) are not fetched.
+* **Registry sync** — the README's experiment-catalog tables (Figures /
+  Sweeps / Trial functions) must list *exactly* the names registered in
+  ``repro.experiments``: a new sweep without a README row fails, as does
+  a README row whose sweep was renamed or removed.
+
+Run from the repository root (or pass it as ``argv[1]``):
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: directories never scanned for markdown
+SKIPPED_DIRS = {".git", ".repro-cache", "__pycache__", ".pytest_cache"}
+
+#: markdown inline link: [text](target) — images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: fenced code blocks, whose bracketed text is not a link
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_SECTIONS = {
+    "figures": "### Figures",
+    "sweeps": "### Sweeps",
+    "trials": "### Trial functions",
+}
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not any(part in SKIPPED_DIRS for part in path.parts)
+    )
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs of every heading in ``markdown``."""
+    slugs = set()
+    for line in _FENCE.sub("", markdown).splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\s-]", "", title.lower())
+        slugs.add(re.sub(r"\s+", "-", slug.strip()))
+    return slugs
+
+
+def check_links(root: pathlib.Path) -> list[str]:
+    """Every relative link in every markdown file resolves."""
+    errors = []
+    for path in markdown_files(root):
+        raw = path.read_text(encoding="utf-8")
+        text = _FENCE.sub("", raw)
+        for target in _LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            if target.startswith("#"):
+                if target[1:] not in heading_slugs(raw):
+                    errors.append(f"{path}: broken anchor {target!r}")
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+                if fragment not in slugs:
+                    errors.append(
+                        f"{path}: link {target!r} names a missing heading"
+                    )
+    return errors
+
+
+def table_names(readme: str, section_heading: str) -> set[str]:
+    """First-column backquoted names of the table under ``section_heading``."""
+    try:
+        start = readme.index(section_heading)
+    except ValueError:
+        return set()
+    section = readme[start + len(section_heading):]
+    next_heading = re.search(r"\n#{2,3} ", section)
+    if next_heading:
+        section = section[: next_heading.start()]
+    return set(re.findall(r"^\| `([^`]+)` \|", section, re.MULTILINE))
+
+
+def registry_names() -> dict[str, set[str]]:
+    """Built-in catalog names only: the README documents what ships with
+    the package, so trials/sweeps registered ad hoc by callers (test
+    suites do this) are excluded by their origin module."""
+    from repro.experiments import registry
+    from repro.experiments.figures import FIGURES
+
+    return {
+        "figures": set(FIGURES),
+        "sweeps": {
+            name
+            for name in registry.sweep_names()
+            if registry.get_sweep(name).__module__.startswith("repro.")
+        },
+        "trials": {
+            name
+            for name in registry.trial_names()
+            if registry.trial_origin(name).startswith("repro.")
+        },
+    }
+
+
+def check_registry_sync(root: pathlib.Path) -> list[str]:
+    """The README catalog tables list exactly the registered names."""
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    errors = []
+    for kind, registered in registry_names().items():
+        heading = _SECTIONS[kind]
+        documented = table_names(readme, heading)
+        if not documented:
+            errors.append(f"README.md: no table found under {heading!r}")
+            continue
+        for name in sorted(registered - documented):
+            errors.append(
+                f"README.md: registered {kind[:-1]} {name!r} has no row "
+                f"under {heading!r}"
+            )
+        for name in sorted(documented - registered):
+            errors.append(
+                f"README.md: row {name!r} under {heading!r} matches no "
+                f"registered {kind[:-1]}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    errors = check_links(root) + check_registry_sync(root)
+    for error in errors:
+        print(f"docs check: {error}", file=sys.stderr)
+    if not errors:
+        n = len(markdown_files(root))
+        print(f"docs check: {n} markdown files ok, catalog in sync")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
