@@ -12,6 +12,16 @@ the serving path turns the pipeline red instead of shipping.
 Only direction-known metrics participate.  Neutral payload entries
 (counts, makespans, queue depths) and non-dict trial values are ignored:
 a diff should flag *regressions*, not every jitter in bookkeeping.
+A direction-known metric present in only *one* report (a payload gained
+or lost a field between commits) is surfaced as added/removed in the
+summary but never fails the gate — schema evolution is a review concern,
+not a perf regression.
+
+Wall-clock metrics (``WALL_METRICS``) compare real elapsed time rather
+than simulated outcomes, so they carry their own — much looser —
+tolerance: CI runners are noisy neighbors, and a 5% band that is right
+for deterministic simulation numbers would turn scheduler jitter into
+red builds.
 """
 
 from __future__ import annotations
@@ -39,7 +49,17 @@ METRIC_DIRECTIONS: dict[str, bool] = {
     # batch-level throughput trials
     "tokens_per_second": True,
     "generation_throughput": True,
+    # wall-clock benchmarks (real time, not simulated time)
+    "wall_s": False,
+    "requests_per_wall_s": True,
+    "sim_iterations_per_wall_s": True,
 }
+
+#: metrics measuring real elapsed time — compared under the (looser)
+#: wall tolerance because runner noise is part of the measurement
+WALL_METRICS = frozenset(
+    {"wall_s", "requests_per_wall_s", "sim_iterations_per_wall_s"}
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,6 +104,10 @@ class BenchDiff:
     deltas: tuple[MetricDelta, ...]
     unmatched_old: tuple[str, ...]  #: trials only the old report has
     unmatched_new: tuple[str, ...]  #: trials only the new report has
+    #: "label metric" strings for direction-known metrics present in only
+    #: one report's payload — surfaced, never failed on
+    removed_metrics: tuple[str, ...] = ()
+    added_metrics: tuple[str, ...] = ()
 
     @property
     def regressions(self) -> tuple[MetricDelta, ...]:
@@ -109,6 +133,16 @@ class BenchDiff:
             lines.append(
                 f"  only in new report ({len(self.unmatched_new)}): "
                 + "; ".join(self.unmatched_new[:4])
+            )
+        if self.removed_metrics:
+            lines.append(
+                f"  metric(s) removed ({len(self.removed_metrics)}): "
+                + "; ".join(self.removed_metrics[:4])
+            )
+        if self.added_metrics:
+            lines.append(
+                f"  metric(s) added ({len(self.added_metrics)}): "
+                + "; ".join(self.added_metrics[:4])
             )
         verdict = (
             "OK: no regression beyond tolerance"
@@ -149,15 +183,20 @@ def _index(report: dict) -> tuple[dict[str, dict], dict]:
 
 
 def diff_reports(
-    old: dict, new: dict, tolerance_pct: float = 5.0
+    old: dict,
+    new: dict,
+    tolerance_pct: float = 5.0,
+    wall_tolerance_pct: float = 30.0,
 ) -> BenchDiff:
     """Compare two bench reports; see module docstring for the rules."""
-    if tolerance_pct < 0:
+    if tolerance_pct < 0 or wall_tolerance_pct < 0:
         raise ValueError("tolerance must be non-negative")
     old_index, shared = _index(old)
     new_index, _ = _index(new)
 
     deltas: list[MetricDelta] = []
+    removed: list[str] = []
+    added: list[str] = []
     for key, old_entry in old_index.items():
         new_entry = new_index.get(key)
         if new_entry is None:
@@ -167,21 +206,30 @@ def diff_reports(
             continue
         label = _trial_label(old_entry["params"], shared)
         for metric in METRIC_DIRECTIONS:
-            if metric in old_value and metric in new_value:
+            in_old, in_new = metric in old_value, metric in new_value
+            if in_old and in_new:
                 deltas.append(
                     MetricDelta(
                         label=label,
                         metric=metric,
                         old=float(old_value[metric]),
                         new=float(new_value[metric]),
-                        tolerance_pct=tolerance_pct,
+                        tolerance_pct=wall_tolerance_pct
+                        if metric in WALL_METRICS
+                        else tolerance_pct,
                     )
                 )
+            elif in_old:
+                removed.append(f"{label} {metric}")
+            elif in_new:
+                added.append(f"{label} {metric}")
 
     return BenchDiff(
         name=new.get("name", old.get("name", "?")),
         tolerance_pct=tolerance_pct,
         deltas=tuple(deltas),
+        removed_metrics=tuple(removed),
+        added_metrics=tuple(added),
         unmatched_old=tuple(
             _trial_label(old_index[k]["params"], shared)
             for k in old_index
@@ -199,8 +247,12 @@ def diff_report_files(
     old_path: str | pathlib.Path,
     new_path: str | pathlib.Path,
     tolerance_pct: float = 5.0,
+    wall_tolerance_pct: float = 30.0,
 ) -> BenchDiff:
     """File-level entry point used by ``repro bench diff``."""
     return diff_reports(
-        load_report(old_path), load_report(new_path), tolerance_pct
+        load_report(old_path),
+        load_report(new_path),
+        tolerance_pct,
+        wall_tolerance_pct,
     )

@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="allowed regression per metric in percent (default: 5)",
     )
+    diff.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="allowed regression for wall-clock metrics, which carry "
+        "runner noise (default: 30)",
+    )
 
     cache = commands.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -255,7 +263,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         diff = diff_report_files(
-            args.old_report, args.new_report, args.tolerance
+            args.old_report,
+            args.new_report,
+            args.tolerance,
+            args.wall_tolerance,
         )
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"repro: {err}", file=sys.stderr)

@@ -43,6 +43,7 @@ from repro.serving.cluster import (
     ReplicaStats,
     build_cluster,
 )
+from repro.serving._reference import ReferenceEngine
 from repro.serving.costs import IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
 from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
@@ -56,11 +57,15 @@ from repro.serving.routing import (
     load_imbalance,
 )
 from repro.serving.metrics import (
+    DEFAULT_SKETCH_CAPACITY,
+    EngineStats,
+    RequestStats,
     RequestTiming,
     ServingReport,
     SloSpec,
     percentile,
 )
+from repro.serving.slots import SlotView
 from repro.serving.schedulers import (
     ChunkedPrefillScheduler,
     FcfsContinuousScheduler,
@@ -85,7 +90,9 @@ __all__ = [
     "static_trace",
     "IterationCostModel",
     "EngineTrace",
+    "ReferenceEngine",
     "ServingEngine",
+    "SlotView",
     "ClusterEngine",
     "ClusterReport",
     "ClusterTrace",
@@ -98,6 +105,9 @@ __all__ = [
     "Router",
     "build_router",
     "load_imbalance",
+    "DEFAULT_SKETCH_CAPACITY",
+    "EngineStats",
+    "RequestStats",
     "RequestTiming",
     "ServingReport",
     "SloSpec",

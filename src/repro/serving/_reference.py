@@ -1,0 +1,270 @@
+"""The scalar reference engine: one Python object touched per event.
+
+This is the pre-vectorization ``ServingEngine`` inner loop, kept verbatim
+as an executable *specification*.  It advances every decode iteration one
+at a time, touching each :class:`~repro.serving.schedulers.RunningRequest`
+individually — O(batch) Python work per iteration — which is exactly what
+makes it trustworthy: every engine rule (admission order, padded-cohort
+pricing, chunk fusion, preempt/restore accounting) is written out as
+straight-line per-request code with no batching cleverness to hide a bug
+in.
+
+Two consumers keep it honest and keep it around:
+
+* the differential tests assert ``ServingEngine.serve`` returns a
+  bit-identical :class:`~repro.serving.engine.EngineTrace` under every
+  scheduler policy, so the vectorized hot path can never drift from this
+  specification without turning CI red;
+* the ``wallclock`` trial times both engines on the same ~100k-request
+  trace, so the speedup the vectorized core exists for is measured (and
+  regression-gated) on every PR rather than asserted once in a commit
+  message.
+
+Do not optimize this module.  Its slowness is its job.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.models.config import ModelSpec
+from repro.perf.system import ServingSystem
+from repro.serving.costs import IterationCostModel
+from repro.serving.engine import EngineTrace, _PrefillCohort
+from repro.serving.metrics import RequestTiming, ServingReport
+from repro.serving.schedulers import RunningRequest, Scheduler
+from repro.workloads.requests import Trace
+
+
+class ReferenceEngine:
+    """Serves request traces one scalar event at a time (see module doc)."""
+
+    def __init__(
+        self,
+        system: ServingSystem,
+        spec: ModelSpec,
+        scheduler: Scheduler,
+    ):
+        self.system = system
+        self.spec = spec
+        self.scheduler = scheduler
+        self.cost = IterationCostModel(system, spec)
+
+    def serve(self, trace: Trace) -> EngineTrace:
+        """Run ``trace`` to completion and return the raw event record."""
+        budget = self.scheduler.chunk_budget
+        pending = collections.deque(trace.requests)
+        queue: list = []
+        running: list[RunningRequest] = []
+        preempted: list[RunningRequest] = []
+        cohorts: collections.deque[_PrefillCohort] = collections.deque()
+        finished: list[RunningRequest] = []
+        iterations: list[float] = []
+        decode_tokens: list[int] = []
+        prefills: list[float] = []
+        prefill_tokens: list[int] = []
+        preemptions = 0
+
+        start = pending[0].arrival_s
+        clock = start
+        depth_area = 0.0
+        max_depth = 0
+
+        def advance(dt: float) -> None:
+            nonlocal clock, depth_area
+            depth_area += len(queue) * dt
+            clock += dt
+
+        def generate(members: list[RunningRequest]) -> int:
+            """One decode token per unfinished member, stamped at ``clock``."""
+            n = 0
+            for r in members:
+                if r.done:
+                    continue
+                r.generated += 1
+                n += 1
+                if r.generated == 1:
+                    r.first_token_s = clock
+                if r.done:
+                    r.finished_s = clock
+                    self.scheduler.release(r)
+                    finished.append(r)
+            return n
+
+        while pending or queue or running or preempted:
+            while pending and pending[0].arrival_s <= clock:
+                queue.append(pending.popleft())
+            max_depth = max(max_depth, len(queue))
+
+            if preempted:
+                # Preempted requests are older than everything still
+                # queued, so they restore head-of-line: no fresh
+                # admission happens while one waits for blocks.
+                head = preempted[0]
+                if self.scheduler.can_restore(head, running):
+                    preempted.pop(0)
+                    self.scheduler.on_restore(head)
+                    head.prefilled = True
+                    # Re-enter in admission-age order, not at the tail:
+                    # the restored request is the oldest resident and
+                    # age decides who a preemptive scheduler protects.
+                    age = (head.admitted_s, head.timed.request_id)
+                    at = next(
+                        (
+                            i
+                            for i, r in enumerate(running)
+                            if (r.admitted_s, r.timed.request_id) > age
+                        ),
+                        len(running),
+                    )
+                    running.insert(at, head)
+                    # Recompute-style restore: re-prefill the prompt plus
+                    # every token generated before the eviction.
+                    context = head.input_len + head.generated
+                    dt = self.cost.prefill_seconds(1, context)
+                    advance(dt)
+                    prefills.append(dt)
+                    prefill_tokens.append(context)
+                    continue
+                admitted_n = 0
+            else:
+                admitted_n = self.scheduler.admit(
+                    queue, running, bool(pending)
+                )
+            if admitted_n > 0:
+                admitted, queue[:admitted_n] = queue[:admitted_n], []
+                admitted_s = clock
+                cohort_input = max(t.input_len for t in admitted)
+                members = [
+                    RunningRequest(
+                        timed=t,
+                        admitted_s=admitted_s,
+                        stride=self.scheduler.request_stride(t.output_len),
+                        prefilled=budget is None,
+                    )
+                    for t in admitted
+                ]
+                running.extend(members)
+                self.scheduler.on_admit(members)
+                if budget is None:
+                    dt = self.cost.prefill_seconds(len(admitted), cohort_input)
+                    advance(dt)
+                    prefills.append(dt)
+                    prefill_tokens.append(cohort_input)
+                else:
+                    # Chunking: no clock movement at admission — the
+                    # prompt is streamed by the chunk iterations below.
+                    cohorts.append(_PrefillCohort(members, cohort_input))
+                continue
+
+            if cohorts:
+                cohort = cohorts[0]
+                chunk = min(budget, cohort.remaining)
+                chunk_s = self.cost.chunk_prefill_seconds(
+                    len(cohort.members), cohort.done, cohort.done + chunk
+                )
+                decodable = [
+                    r for r in running if r.prefilled and not r.done
+                ]
+                # A cohort's first chunk re-forms the fused batch and runs
+                # alone (this is what collapses budget >= prompt onto the
+                # blocked FCFS engine); overlap never stalls.
+                fused = decodable if (
+                    self.scheduler.overlap_decode or cohort.chunks > 0
+                ) else []
+                if fused:
+                    batch, seq = self.scheduler.iteration_shape(fused)
+                    decode_s = self.cost.decode_seconds(batch, seq)
+                    dt = (
+                        max(chunk_s, decode_s)
+                        if self.scheduler.overlap_decode
+                        else chunk_s + decode_s
+                    )
+                else:
+                    dt = chunk_s
+                advance(dt)
+                prefills.append(chunk_s)
+                prefill_tokens.append(chunk)
+                cohort.done += chunk
+                cohort.chunks += 1
+                if fused:
+                    iterations.append(dt)
+                    decode_tokens.append(generate(fused))
+                    running = [r for r in running if not r.done]
+                if cohort.remaining == 0:
+                    for r in cohort.members:
+                        r.prefilled = True
+                    cohorts.popleft()
+                continue
+
+            if running:
+                victims = self.scheduler.prepare_iteration(running)
+                if victims:
+                    # Pool exhausted: the scheduler already freed the
+                    # victims' blocks; evict them from the running set
+                    # and re-queue them (oldest first) for restore.
+                    preemptions += len(victims)
+                    evicted = {id(v) for v in victims}
+                    running = [r for r in running if id(r) not in evicted]
+                    for v in victims:
+                        v.prefilled = False
+                        v.preemptions += 1
+                    preempted.extend(victims)
+                    preempted.sort(
+                        key=lambda r: (r.admitted_s, r.timed.request_id)
+                    )
+                    if not running:
+                        continue
+                batch, seq = self.scheduler.iteration_shape(running)
+                dt = self.cost.decode_seconds(batch, seq)
+                advance(dt)
+                iterations.append(dt)
+                decode_tokens.append(generate(running))
+                if self.scheduler.keep_finished:
+                    if all(r.done for r in running):
+                        running.clear()
+                else:
+                    running = [r for r in running if not r.done]
+                continue
+
+            if pending:
+                advance(pending[0].arrival_s - clock)
+                continue
+
+            raise RuntimeError(
+                f"scheduler {self.scheduler.name!r} cannot place "
+                f"{len(queue)} waiting request(s) on an idle cluster — "
+                "the head request exceeds the admission bound"
+            )
+
+        end = clock
+        timings = tuple(
+            RequestTiming(
+                request_id=r.timed.request_id,
+                input_len=r.input_len,
+                output_len=r.output_len,
+                arrival_s=r.timed.arrival_s,
+                admitted_s=r.admitted_s,
+                first_token_s=r.first_token_s,
+                finished_s=r.finished_s,
+                preemptions=r.preemptions,
+            )
+            for r in sorted(finished, key=lambda r: r.timed.request_id)
+        )
+        span = max(end - start, 1e-12)
+        return EngineTrace(
+            timings=timings,
+            iteration_seconds=tuple(iterations),
+            decode_tokens=tuple(decode_tokens),
+            prefill_seconds=tuple(prefills),
+            prefill_tokens=tuple(prefill_tokens),
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max_depth,
+            preemptions=preemptions,
+        )
+
+    def run(self, trace: Trace) -> ServingReport:
+        """Serve ``trace`` and return the aggregated report."""
+        return self.serve(trace).report()

@@ -27,7 +27,13 @@ from collections.abc import Sequence
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 from repro.serving.engine import EngineTrace, ServingEngine
-from repro.serving.metrics import RequestTiming, ServingReport, SloSpec
+from repro.serving.metrics import (
+    DEFAULT_SKETCH_CAPACITY,
+    EngineStats,
+    RequestTiming,
+    ServingReport,
+    SloSpec,
+)
 from repro.serving.routing import (
     AffinityKey,
     Router,
@@ -40,21 +46,28 @@ from repro.workloads.requests import TimedRequest, Trace
 
 @dataclasses.dataclass(frozen=True)
 class ReplicaStats:
-    """One replica's share of a cluster run (idle replicas report zeros)."""
+    """One replica's share of a cluster run (idle replicas report zeros).
+
+    Holds the replica's streaming :class:`EngineStats` rather than its
+    full event record, so a cluster run's per-replica breakdown costs
+    O(sketch capacity) per node regardless of how many requests each
+    node served.
+    """
 
     replica: int
-    trace: EngineTrace | None
+    stats: EngineStats | None
 
     @property
     def n_requests(self) -> int:
-        return 0 if self.trace is None else len(self.trace.timings)
+        return 0 if self.stats is None else self.stats.requests.n
 
     @property
     def assigned_tokens(self) -> int:
         """Total input+output tokens routed to this replica (its load)."""
-        if self.trace is None:
+        if self.stats is None:
             return 0
-        return sum(t.input_len + t.output_len for t in self.trace.timings)
+        requests = self.stats.requests
+        return requests.prompt_tokens + requests.generated_tokens
 
     def to_payload(self, slo: SloSpec | None = None) -> dict:
         payload: dict = {
@@ -62,8 +75,8 @@ class ReplicaStats:
             "n_requests": self.n_requests,
             "assigned_tokens": self.assigned_tokens,
         }
-        if self.trace is not None:
-            report = self.trace.report()
+        if self.stats is not None:
+            report = self.stats.report()
             payload.update(
                 makespan_s=report.makespan_s,
                 mean_queue_depth=report.mean_queue_depth,
@@ -164,7 +177,9 @@ class ClusterTrace:
             **fields,
             router=self.router,
             per_replica=tuple(
-                ReplicaStats(replica=i, trace=t)
+                ReplicaStats(
+                    replica=i, stats=None if t is None else t.stats()
+                )
                 for i, t in enumerate(self.replicas)
             ),
         )
@@ -216,9 +231,48 @@ class ClusterEngine:
             router=self.router.name,
         )
 
-    def run(self, trace: Trace) -> ClusterReport:
-        """Serve ``trace`` and return the merged cluster report."""
-        return self.serve(trace).report()
+    def run(
+        self,
+        trace: Trace,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> ClusterReport:
+        """Serve ``trace`` (streaming) and return the merged report.
+
+        Every replica runs through
+        :meth:`~repro.serving.engine.ServingEngine.serve_stats`, so no
+        per-event lists are ever materialized — the cluster-wide merge
+        adds counters and depth areas and concatenates/resamples the
+        per-replica latency reservoirs
+        (:meth:`~repro.serving.metrics.EngineStats.merge`).  Below the
+        sketch capacity this is bit-identical to
+        ``serve(trace).report()``; use :meth:`serve` when the raw event
+        record itself is wanted.
+        """
+        self.router.reset()  # a reused engine must route like a fresh one
+        assignments = self.router.assign(trace)
+        parts = trace.partition(assignments)
+        stats = tuple(
+            engine.serve_stats(parts[i], sketch_capacity)
+            if i in parts
+            else None
+            for i, engine in enumerate(self.replicas)
+        )
+        active = [s for s in stats if s is not None]
+        if not active:
+            raise ValueError("cluster run produced no replica stats")
+        merged = EngineStats.merge(active).report()
+        fields = {
+            f.name: getattr(merged, f.name)
+            for f in dataclasses.fields(ServingReport)
+        }
+        return ClusterReport(
+            **fields,
+            router=self.router.name,
+            per_replica=tuple(
+                ReplicaStats(replica=i, stats=s)
+                for i, s in enumerate(stats)
+            ),
+        )
 
 
 def build_cluster(

@@ -1,4 +1,4 @@
-"""Discrete-event, request-level serving engine.
+"""Discrete-event, request-level serving engine (vectorized hot path).
 
 Advances a :class:`~repro.perf.system.ServingSystem` through a
 :class:`~repro.workloads.requests.Trace` one event at a time.  Four event
@@ -27,10 +27,32 @@ kinds move the clock:
   tokens, priced like any other prefill, so preemption's cost is visible
   in the clock and the token accounting.
 
+**The hot path is coalesced.**  Between two batch-composition events —
+a finish, an admission, an arrival crossing the clock, a preemption —
+nothing about the decode batch can change, so the engine prices the whole
+stretch at once: it snapshots the running set into a columnar
+:class:`~repro.serving.slots.SlotView`, asks the scheduler's
+:meth:`~repro.serving.schedulers.Scheduler.decode_run` for the run's
+``(batch, seq)`` pricing points in one vectorized call, maps them through
+the memoized cost model, and replays only the clock/queue-depth
+accumulation as a tight scalar loop (float addition is order-sensitive,
+so that part *must* stay sequential to remain bit-exact).  Per-request
+Python work happens once per run instead of once per iteration — the
+difference between O(batch) and O(1) bookkeeping per decode step, and the
+source of the wall-clock speedup the ``wallclock`` benchmark gates.
+Schedulers that cannot promise a predictable run (paged KV grows and
+evicts per token) opt out via
+:attr:`~repro.serving.schedulers.Scheduler.coalescable` and take the
+scalar path, which is kept verbatim from the reference implementation
+(:mod:`repro.serving._reference` — the specification both paths are
+differentially tested against).
+
 The engine records per-request lifecycle timestamps (arrival, admission,
-first token, completion) and aggregates them into a
-:class:`~repro.serving.metrics.ServingReport` with TTFT/TPOT percentiles,
-queue depths, preemption counts, and SLO goodput.
+first token, completion).  :meth:`ServingEngine.serve` keeps every event
+(an :class:`EngineTrace`, what the bit-exactness tests compare);
+:meth:`ServingEngine.serve_stats` streams them instead into an
+O(1)-memory :class:`~repro.serving.metrics.EngineStats`, which is how a
+million-request trace stays in interactive reach.
 """
 
 from __future__ import annotations
@@ -38,12 +60,26 @@ from __future__ import annotations
 import collections
 import dataclasses
 
+import numpy as np
+
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 from repro.serving.costs import IterationCostModel
-from repro.serving.metrics import RequestTiming, ServingReport
+from repro.serving.metrics import (
+    DEFAULT_SKETCH_CAPACITY,
+    EngineStats,
+    RequestStats,
+    RequestTiming,
+    ServingReport,
+)
 from repro.serving.schedulers import RunningRequest, Scheduler
+from repro.serving.slots import SlotView
 from repro.workloads.requests import Trace
+
+#: cap on iterations priced per coalesced run — bounds the batch x steps
+#: pricing matrix a single ``decode_run`` call materializes (a longer
+#: stretch simply takes several runs, with identical results)
+_MAX_RUN_STEPS = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,16 +101,26 @@ class EngineTrace:
     def makespan_s(self) -> float:
         return self.end_s - self.start_s
 
-    def report(self) -> ServingReport:
-        return ServingReport(
-            timings=self.timings,
-            makespan_s=self.makespan_s,
+    def stats(
+        self, sketch_capacity: int = DEFAULT_SKETCH_CAPACITY
+    ) -> EngineStats:
+        """Fold the per-event record into its streaming equivalent."""
+        requests = RequestStats(sketch_capacity)
+        for timing in self.timings:
+            requests.observe(timing)
+        return EngineStats(
+            requests=requests,
+            start_s=self.start_s,
+            end_s=self.end_s,
             mean_queue_depth=self.mean_queue_depth,
             max_queue_depth=self.max_queue_depth,
             n_iterations=len(self.iteration_seconds),
             n_prefills=len(self.prefill_seconds),
-            n_preemptions=self.preemptions,
+            preemptions=self.preemptions,
         )
+
+    def report(self) -> ServingReport:
+        return self.stats().report()
 
 
 @dataclasses.dataclass
@@ -97,6 +143,71 @@ class _PrefillCohort:
         return self.max_input - self.done
 
 
+class _TraceRecorder:
+    """Keeps every event — what :meth:`ServingEngine.serve` returns."""
+
+    __slots__ = (
+        "iterations", "decode_tokens", "prefills", "prefill_tokens",
+        "finished",
+    )
+
+    def __init__(self):
+        self.iterations: list[float] = []
+        self.decode_tokens: list[int] = []
+        self.prefills: list[float] = []
+        self.prefill_tokens: list[int] = []
+        self.finished: list[RunningRequest] = []
+
+    def prefill(self, dt: float, tokens: int) -> None:
+        self.prefills.append(dt)
+        self.prefill_tokens.append(tokens)
+
+    def decode(self, dt: float, tokens: int) -> None:
+        self.iterations.append(dt)
+        self.decode_tokens.append(tokens)
+
+    def decode_run(self, dts: list[float], tokens_each: int) -> None:
+        self.iterations.extend(dts)
+        self.decode_tokens.extend([tokens_each] * len(dts))
+
+    def finish(self, request: RunningRequest) -> None:
+        self.finished.append(request)
+
+
+class _StatsRecorder:
+    """Streams events into counters + a :class:`RequestStats` (O(1) mem)."""
+
+    __slots__ = ("requests", "n_iterations", "n_prefills")
+
+    def __init__(self, sketch_capacity: int):
+        self.requests = RequestStats(sketch_capacity)
+        self.n_iterations = 0
+        self.n_prefills = 0
+
+    def prefill(self, dt: float, tokens: int) -> None:
+        self.n_prefills += 1
+
+    def decode(self, dt: float, tokens: int) -> None:
+        self.n_iterations += 1
+
+    def decode_run(self, dts: list[float], tokens_each: int) -> None:
+        self.n_iterations += len(dts)
+
+    def finish(self, request: RunningRequest) -> None:
+        self.requests.observe(
+            RequestTiming(
+                request_id=request.timed.request_id,
+                input_len=request.input_len,
+                output_len=request.output_len,
+                arrival_s=request.timed.arrival_s,
+                admitted_s=request.admitted_s,
+                first_token_s=request.first_token_s,
+                finished_s=request.finished_s,
+                preemptions=request.preemptions,
+            )
+        )
+
+
 class ServingEngine:
     """Serves request traces on one system under one scheduling policy.
 
@@ -109,9 +220,10 @@ class ServingEngine:
     (``on_admit``/``prepare_iteration``/``can_restore``/``on_restore``/
     ``release``) the engine calls in a fixed order each loop iteration.
     One engine serves one trace at a time; :meth:`serve` returns the raw
-    :class:`EngineTrace` (what equivalence tests compare bit for bit)
-    and :meth:`run` its aggregated
-    :class:`~repro.serving.metrics.ServingReport`.
+    :class:`EngineTrace` (what equivalence tests compare bit for bit),
+    :meth:`serve_stats` the O(1)-memory streaming
+    :class:`~repro.serving.metrics.EngineStats`, and :meth:`run` the
+    aggregated :class:`~repro.serving.metrics.ServingReport`.
     """
 
     def __init__(
@@ -124,20 +236,97 @@ class ServingEngine:
         self.spec = spec
         self.scheduler = scheduler
         self.cost = IterationCostModel(system, spec)
+        # Refuse to coalesce a subclass that reshaped scalar pricing
+        # without teaching decode_run the same shape — silent divergence
+        # between the two paths is the one bug class this line removes.
+        cls = type(scheduler)
+        self._coalesce = scheduler.coalescable and (
+            cls.decode_run is not Scheduler.decode_run
+            or cls.iteration_shape is Scheduler.iteration_shape
+        )
 
     def serve(self, trace: Trace) -> EngineTrace:
         """Run ``trace`` to completion and return the raw event record."""
+        recorder = _TraceRecorder()
+        start, end, depth_area, max_depth, preemptions = self._serve(
+            trace, recorder
+        )
+        timings = tuple(
+            RequestTiming(
+                request_id=r.timed.request_id,
+                input_len=r.input_len,
+                output_len=r.output_len,
+                arrival_s=r.timed.arrival_s,
+                admitted_s=r.admitted_s,
+                first_token_s=r.first_token_s,
+                finished_s=r.finished_s,
+                preemptions=r.preemptions,
+            )
+            for r in sorted(
+                recorder.finished, key=lambda r: r.timed.request_id
+            )
+        )
+        span = max(end - start, 1e-12)
+        return EngineTrace(
+            timings=timings,
+            iteration_seconds=tuple(recorder.iterations),
+            decode_tokens=tuple(recorder.decode_tokens),
+            prefill_seconds=tuple(recorder.prefills),
+            prefill_tokens=tuple(recorder.prefill_tokens),
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max_depth,
+            preemptions=preemptions,
+        )
+
+    def serve_stats(
+        self,
+        trace: Trace,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> EngineStats:
+        """Serve ``trace`` keeping O(1) memory: stream, don't record.
+
+        Identical simulation to :meth:`serve` — same clock, same
+        timestamps — but per-request outcomes fold straight into a
+        :class:`~repro.serving.metrics.RequestStats` reservoir instead
+        of accumulating event lists, so memory does not grow with the
+        trace.  Below ``sketch_capacity`` completed requests the
+        resulting report is bit-identical to ``serve(trace).report()``;
+        above it, latency percentiles come from the seeded sample.
+        """
+        recorder = _StatsRecorder(sketch_capacity)
+        start, end, depth_area, max_depth, preemptions = self._serve(
+            trace, recorder
+        )
+        span = max(end - start, 1e-12)
+        return EngineStats(
+            requests=recorder.requests,
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max_depth,
+            n_iterations=recorder.n_iterations,
+            n_prefills=recorder.n_prefills,
+            preemptions=preemptions,
+        )
+
+    def run(self, trace: Trace) -> ServingReport:
+        """Serve ``trace`` (streaming) and return the aggregated report."""
+        return self.serve_stats(trace).report()
+
+    def _serve(
+        self, trace: Trace, rec
+    ) -> tuple[float, float, float, int, int]:
+        """The event loop; returns (start, end, depth_area, max_depth,
+        preemptions) and emits events through ``rec``."""
         budget = self.scheduler.chunk_budget
+        coalesce = self._coalesce
         pending = collections.deque(trace.requests)
         queue: list = []
         running: list[RunningRequest] = []
         preempted: list[RunningRequest] = []
         cohorts: collections.deque[_PrefillCohort] = collections.deque()
-        finished: list[RunningRequest] = []
-        iterations: list[float] = []
-        decode_tokens: list[int] = []
-        prefills: list[float] = []
-        prefill_tokens: list[int] = []
         preemptions = 0
 
         start = pending[0].arrival_s
@@ -163,7 +352,7 @@ class ServingEngine:
                 if r.done:
                     r.finished_s = clock
                     self.scheduler.release(r)
-                    finished.append(r)
+                    rec.finish(r)
             return n
 
         while pending or queue or running or preempted:
@@ -198,8 +387,7 @@ class ServingEngine:
                     context = head.input_len + head.generated
                     dt = self.cost.prefill_seconds(1, context)
                     advance(dt)
-                    prefills.append(dt)
-                    prefill_tokens.append(context)
+                    rec.prefill(dt, context)
                     continue
                 admitted_n = 0
             else:
@@ -224,8 +412,7 @@ class ServingEngine:
                 if budget is None:
                     dt = self.cost.prefill_seconds(len(admitted), cohort_input)
                     advance(dt)
-                    prefills.append(dt)
-                    prefill_tokens.append(cohort_input)
+                    rec.prefill(dt, cohort_input)
                 else:
                     # Chunking: no clock movement at admission — the
                     # prompt is streamed by the chunk iterations below.
@@ -258,18 +445,74 @@ class ServingEngine:
                 else:
                     dt = chunk_s
                 advance(dt)
-                prefills.append(chunk_s)
-                prefill_tokens.append(chunk)
+                rec.prefill(chunk_s, chunk)
                 cohort.done += chunk
                 cohort.chunks += 1
                 if fused:
-                    iterations.append(dt)
-                    decode_tokens.append(generate(fused))
+                    rec.decode(dt, generate(fused))
                     running = [r for r in running if not r.done]
                 if cohort.remaining == 0:
                     for r in cohort.members:
                         r.prefilled = True
                     cohorts.popleft()
+                continue
+
+            if running and coalesce:
+                # Coalesced decode run: until a resident finishes or an
+                # arrival crosses the clock, the batch cannot change —
+                # price the whole stretch in one vectorized call and
+                # replay only the order-sensitive float accumulation.
+                slots = SlotView.from_requests(running)
+                steps = min(slots.max_coalesced_steps(), _MAX_RUN_STEPS)
+                batch, seqs = self.scheduler.decode_run(slots, steps)
+                uniq, inverse = np.unique(seqs, return_inverse=True)
+                costs = np.fromiter(
+                    (self.cost.decode_seconds(batch, s) for s in uniq.tolist()),
+                    float,
+                    len(uniq),
+                )
+                dts = costs[inverse].tolist()
+                qlen = len(queue)
+                clock_before = clock
+                if pending:
+                    next_arrival = pending[0].arrival_s
+                    executed = 0
+                    for dt in dts:
+                        depth_area += qlen * dt
+                        clock += dt
+                        executed += 1
+                        if next_arrival <= clock:
+                            break
+                else:
+                    for dt in dts:
+                        depth_area += qlen * dt
+                        clock += dt
+                    executed = steps
+                # Bit-exact re-derivation: after the first iteration the
+                # clock was exactly clock_before + dts[0] (one float add).
+                first_clock = clock_before + dts[0]
+                rec.decode_run(
+                    dts if executed == steps else dts[:executed],
+                    slots.n_active,
+                )
+                for r in running:
+                    if r.done:
+                        continue
+                    if r.generated == 0:
+                        r.first_token_s = first_clock
+                    r.generated += executed
+                    if r.done:
+                        r.finished_s = clock
+                        self.scheduler.release(r)
+                        rec.finish(r)
+                if executed == steps:
+                    # Only a full run can finish anyone (executed equals
+                    # the minimum remaining output among active slots).
+                    if self.scheduler.keep_finished:
+                        if all(r.done for r in running):
+                            running.clear()
+                    else:
+                        running = [r for r in running if not r.done]
                 continue
 
             if running:
@@ -293,8 +536,7 @@ class ServingEngine:
                 batch, seq = self.scheduler.iteration_shape(running)
                 dt = self.cost.decode_seconds(batch, seq)
                 advance(dt)
-                iterations.append(dt)
-                decode_tokens.append(generate(running))
+                rec.decode(dt, generate(running))
                 if self.scheduler.keep_finished:
                     if all(r.done for r in running):
                         running.clear()
@@ -312,34 +554,4 @@ class ServingEngine:
                 "the head request exceeds the admission bound"
             )
 
-        end = clock
-        timings = tuple(
-            RequestTiming(
-                request_id=r.timed.request_id,
-                input_len=r.input_len,
-                output_len=r.output_len,
-                arrival_s=r.timed.arrival_s,
-                admitted_s=r.admitted_s,
-                first_token_s=r.first_token_s,
-                finished_s=r.finished_s,
-                preemptions=r.preemptions,
-            )
-            for r in sorted(finished, key=lambda r: r.timed.request_id)
-        )
-        span = max(end - start, 1e-12)
-        return EngineTrace(
-            timings=timings,
-            iteration_seconds=tuple(iterations),
-            decode_tokens=tuple(decode_tokens),
-            prefill_seconds=tuple(prefills),
-            prefill_tokens=tuple(prefill_tokens),
-            start_s=start,
-            end_s=end,
-            mean_queue_depth=depth_area / span,
-            max_queue_depth=max_depth,
-            preemptions=preemptions,
-        )
-
-    def run(self, trace: Trace) -> ServingReport:
-        """Serve ``trace`` and return the aggregated report."""
-        return self.serve(trace).report()
+        return start, clock, depth_area, max_depth, preemptions

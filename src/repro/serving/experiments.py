@@ -24,6 +24,11 @@ vs block-granular reservation under a tight HBM budget as load rises:
 goodput gained from tighter admission vs latency lost to
 preempt/restore thrashing) and the ``paged`` sweep (block-size
 sensitivity of the paged policy at a fixed capacity-bound load).
+
+The engine itself is benchmarked by the ``wallclock`` trial/sweep: the
+vectorized production engine and the scalar reference serve the same
+~100k-request trace under a stopwatch, and CI asserts the speedup floor
+the vectorized core was merged at.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pathlib
+import time
 
 from repro.experiments.registry import sweep, trial
 from repro.experiments.runner import RunReport
@@ -45,6 +51,7 @@ from repro.serving.arrivals import (
     poisson_trace,
 )
 from repro.serving import corpus as _corpus  # noqa: F401  (registers sweep)
+from repro.serving._reference import ReferenceEngine
 from repro.serving.cluster import build_cluster
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import SloSpec
@@ -598,6 +605,113 @@ def preemption_tradeoff_render(data: dict) -> tuple[list[str], list[list]]:
                 m.get("n_prefills", 0),
             ])
     return header, rows
+
+
+#: load profile of the wall-clock benchmark: ~100k requests arriving fast
+#: enough to keep the decode batch full, fixed lengths so the simulated
+#: outcome (and therefore the simulation *work*) is identical run to run
+WALLCLOCK_LOAD = dict(
+    system="Pimba",
+    model="Zamba2",
+    scale="small",
+    scheduler="fcfs",
+    qps=2000.0,
+    n_requests=100_000,
+    input_len=128,
+    output_len=128,
+    max_batch=64,
+    seed=0,
+)
+
+
+@trial("wallclock")
+def wallclock(
+    engine: str,
+    system: str = "Pimba",
+    qps: float = 2000.0,
+    model: str = "Zamba2",
+    scale: str = "small",
+    scheduler: str = "fcfs",
+    n_requests: int = 100_000,
+    input_len: int = 128,
+    output_len: int = 128,
+    max_batch: int = 64,
+    seed: int = 0,
+) -> dict:
+    """Time one engine implementation serving a large seeded trace.
+
+    ``engine`` selects the implementation under test: ``"slot"`` is the
+    production :class:`~repro.serving.engine.ServingEngine` (slot-array
+    coalesced hot path, streaming stats), ``"reference"`` the scalar
+    :class:`~repro.serving._reference.ReferenceEngine` specification.
+    Both serve the *identical* trace, so the ratio of their ``wall_s`` is
+    the hot path's speedup — what CI's ``perf-wallclock`` job asserts.
+    Only the serve call is timed; trace construction and report
+    aggregation happen outside the stopwatch.  Never cache this trial's
+    results (``repro sweep wallclock --no-cache``): a timing replayed
+    from the cache says nothing about the code under test.
+    """
+    spec = spec_for(model, scale)
+    serving = build_system(SystemKind(system), scale)
+    trace = poisson_trace(
+        qps, n_requests, fixed_lengths(input_len, output_len), seed
+    )
+    policy = build_scheduler(
+        scheduler, serving, spec, max_batch=max_batch
+    )
+    if engine == "slot":
+        impl = ServingEngine(serving, spec, policy)
+        t0 = time.perf_counter()
+        stats = impl.serve_stats(trace)
+        wall_s = time.perf_counter() - t0
+    elif engine == "reference":
+        ref = ReferenceEngine(serving, spec, policy)
+        t0 = time.perf_counter()
+        run = ref.serve(trace)
+        wall_s = time.perf_counter() - t0
+        stats = run.stats()
+    else:
+        raise KeyError(f"unknown engine {engine!r}; use slot|reference")
+    report = stats.report()
+    return {
+        "engine": engine,
+        "wall_s": wall_s,
+        "requests_per_wall_s": n_requests / wall_s,
+        "sim_iterations_per_wall_s": stats.n_iterations / wall_s,
+        # Simulated-outcome fields: identical for both engines (the
+        # bit-exactness the differential tests pin), so any diff here
+        # is a correctness regression, not noise.
+        "n_requests": report.n_requests,
+        "n_iterations": report.n_iterations,
+        "makespan_s": report.makespan_s,
+        "throughput_tokens_per_s": report.throughput_tokens_per_s,
+        "ttft_p99_s": report.ttft_percentile(99),
+    }
+
+
+@sweep("wallclock")
+def wallclock_spec(smoke: bool = False) -> ExperimentSpec:
+    """Wall-clock benchmark: production engine vs scalar reference.
+
+    Two rows — ``engine=reference`` then ``engine=slot`` — over the same
+    ~100k-request trace.  CI runs this serially and uncached
+    (``repro sweep wallclock --serial --no-cache``) and fails the build
+    if ``reference.wall_s / slot.wall_s`` drops below the floor the
+    vectorized core was merged at (5x).
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="wallclock",
+            trial_fn="wallclock",
+            axes={"engine": ("reference", "slot")},
+            fixed={**WALLCLOCK_LOAD, "n_requests": 2000},
+        )
+    return ExperimentSpec(
+        name="wallclock",
+        trial_fn="wallclock",
+        axes={"engine": ("reference", "slot")},
+        fixed=WALLCLOCK_LOAD,
+    )
 
 
 def serving_render(data: dict) -> tuple[list[str], list[list]]:

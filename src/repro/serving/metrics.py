@@ -1,4 +1,4 @@
-"""Per-request timings, SLOs, and aggregated serving reports.
+"""Per-request timings, SLOs, and streaming serving reports.
 
 The serving literature's quality metrics, computed from the discrete-event
 engine's raw timelines:
@@ -10,13 +10,34 @@ engine's raw timelines:
 * **Goodput** — completed requests per second that met the SLO, the metric
   that actually prices a serving fleet (throughput counts late answers,
   goodput does not).
+
+Aggregation is *streaming*: a :class:`RequestStats` accumulator folds each
+completed request into O(1)-memory running counters plus a seeded
+fixed-capacity reservoir over the ``(ttft, tpot, e2e)`` latency rows, so a
+million-request trace costs the same report memory as a dozen-request one.
+Below the reservoir capacity (default ``DEFAULT_SKETCH_CAPACITY``) the
+sample *is* the population and every percentile, attainment fraction, and
+goodput figure is exact — which is what keeps small-trace reports
+bit-identical to the pre-streaming implementation.  Above capacity the
+reservoir is a uniform sample (Algorithm R, fixed seed, so results are
+reproducible) and a percentile estimate at rank ``p`` carries standard
+error ``sqrt(p * (1 - p) / K)`` in rank space — about ±0.7 rank points at
+the median for the default K = 4096, tighter in the tails.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import random
+from collections.abc import Iterable, Sequence
 
 import numpy as np
+
+#: reservoir rows kept per report; samples below this size are exact
+DEFAULT_SKETCH_CAPACITY = 4096
+
+#: fixed reservoir seed — identical streams always keep identical samples
+_SKETCH_SEED = 0x51CE7C
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,16 +102,169 @@ def percentile(values: list[float] | tuple[float, ...], p: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=float), p))
 
 
+class RequestStats:
+    """Streaming accumulator over completed requests (O(1) memory).
+
+    Running token counters plus a seeded Algorithm-R reservoir of
+    ``(ttft_s, tpot_s, e2e_s)`` rows, capped at ``capacity``.  While the
+    stream fits the reservoir (``exact`` is True) the rows are the whole
+    population and every derived statistic is exact; past capacity the
+    rows are a uniform sample and SLO counts are scaled estimates.
+
+    Equality ignores observation order (and the reservoir's RNG state):
+    two accumulators are equal when their counters match and their row
+    *multisets* match — so a cluster merge and a request-id-ordered
+    replay of the same completions compare equal.
+    """
+
+    __slots__ = (
+        "capacity", "count", "rows", "prompt_tokens", "generated_tokens",
+        "_rng",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_SKETCH_CAPACITY):
+        if capacity < 1:
+            raise ValueError("sketch capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        #: plain tuples, not arrays: cheap to append, safe under deepcopy
+        self.rows: list[tuple[float, float, float]] = []
+        self.prompt_tokens = 0
+        self.generated_tokens = 0
+        self._rng = random.Random(_SKETCH_SEED)
+
+    @property
+    def n(self) -> int:
+        """Requests observed (the whole stream, not just the sample)."""
+        return self.count
+
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds every observed row."""
+        return self.count <= self.capacity
+
+    def observe(self, timing: RequestTiming) -> None:
+        """Fold one completed request into the counters and the reservoir."""
+        self.prompt_tokens += timing.input_len
+        self.generated_tokens += timing.output_len
+        self.count += 1
+        row = (timing.ttft_s, timing.tpot_s, timing.e2e_s)
+        if len(self.rows) < self.capacity:
+            self.rows.append(row)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self.rows[j] = row
+
+    # -- derived statistics ---------------------------------------------------
+
+    def _column_percentile(self, column: int, p: float) -> float:
+        if not self.rows:
+            return float("nan")
+        return percentile([row[column] for row in self.rows], p)
+
+    def ttft_percentile(self, p: float) -> float:
+        return self._column_percentile(0, p)
+
+    def tpot_percentile(self, p: float) -> float:
+        return self._column_percentile(1, p)
+
+    def e2e_percentile(self, p: float) -> float:
+        return self._column_percentile(2, p)
+
+    def slo_met(self, slo: SloSpec) -> float:
+        """(Estimated) number of observed requests that met ``slo``.
+
+        Exact — an integer-valued float — while :attr:`exact` holds;
+        otherwise the sample fraction scaled to the stream size.
+        """
+        if not self.rows:
+            return 0.0
+        met = sum(
+            1
+            for ttft, tpot, _ in self.rows
+            if ttft <= slo.ttft_s and tpot <= slo.tpot_s
+        )
+        return met * (self.count / len(self.rows))
+
+    # -- composition ----------------------------------------------------------
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Iterable["RequestStats"],
+        capacity: int | None = None,
+    ) -> "RequestStats":
+        """Fold several accumulators (e.g. cluster replicas) into one.
+
+        When the concatenated rows fit ``capacity`` the merge is exact.
+        Otherwise each part contributes a seeded subsample sized in
+        proportion to its *stream* length (not its sample length), so
+        overflowed parts keep their fair weight in the merged reservoir.
+        """
+        parts = [p for p in parts if p is not None]
+        if capacity is None:
+            capacity = max(
+                (p.capacity for p in parts), default=DEFAULT_SKETCH_CAPACITY
+            )
+        merged = cls(capacity)
+        merged.count = sum(p.count for p in parts)
+        merged.prompt_tokens = sum(p.prompt_tokens for p in parts)
+        merged.generated_tokens = sum(p.generated_tokens for p in parts)
+        if sum(len(p.rows) for p in parts) <= capacity:
+            for p in parts:
+                merged.rows.extend(p.rows)
+            return merged
+        quotas = [capacity * p.count / merged.count for p in parts]
+        take = [int(q) for q in quotas]
+        # Hand the rounded-away remainder to the largest fractions.
+        by_fraction = sorted(
+            range(len(parts)), key=lambda i: quotas[i] - take[i], reverse=True
+        )
+        for i in by_fraction[: capacity - sum(take)]:
+            take[i] += 1
+        rng = random.Random(_SKETCH_SEED)
+        for p, k in zip(parts, take):
+            k = min(k, len(p.rows))
+            merged.rows.extend(
+                p.rows if k == len(p.rows) else rng.sample(p.rows, k)
+            )
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestStats):
+            return NotImplemented
+        return (
+            self.capacity,
+            self.count,
+            self.prompt_tokens,
+            self.generated_tokens,
+            sorted(self.rows),
+        ) == (
+            other.capacity,
+            other.count,
+            other.prompt_tokens,
+            other.generated_tokens,
+            sorted(other.rows),
+        )
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else f"sampled({len(self.rows)})"
+        return f"RequestStats(n={self.count}, {kind})"
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingReport:
     """Aggregate view of one trace served on one system.
 
-    A report may cover *zero* completed requests (e.g. a run cut while
-    everything was still queued): rates are then 0, latency percentiles
-    are NaN — never a crash — so downstream tabulation stays total.
+    Holds a streaming :class:`RequestStats` instead of per-request
+    timings, so its memory is O(1) in the trace length.  A report may
+    cover *zero* completed requests (e.g. a run cut while everything was
+    still queued): rates are then 0, latency percentiles are NaN — never
+    a crash — so downstream tabulation stays total.
     """
 
-    timings: tuple[RequestTiming, ...]
+    stats: RequestStats
     makespan_s: float  #: first arrival to last completion
     mean_queue_depth: float  #: time-weighted waiting-queue depth
     max_queue_depth: int
@@ -101,61 +275,82 @@ class ServingReport:
     n_preemptions: int = dataclasses.field(default=0, kw_only=True)
 
     def __post_init__(self) -> None:
-        if self.timings and self.makespan_s <= 0:
+        if self.stats.n and self.makespan_s <= 0:
             raise ValueError("makespan must be positive")
         if self.makespan_s < 0:
             raise ValueError("makespan must be non-negative")
 
+    @classmethod
+    def from_timings(
+        cls,
+        timings: Sequence[RequestTiming],
+        makespan_s: float,
+        mean_queue_depth: float,
+        max_queue_depth: int,
+        n_iterations: int,
+        n_prefills: int,
+        *,
+        n_preemptions: int = 0,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> "ServingReport":
+        """Build a report by streaming ``timings`` through the accumulator."""
+        stats = RequestStats(sketch_capacity)
+        for timing in timings:
+            stats.observe(timing)
+        return cls(
+            stats=stats,
+            makespan_s=makespan_s,
+            mean_queue_depth=mean_queue_depth,
+            max_queue_depth=max_queue_depth,
+            n_iterations=n_iterations,
+            n_prefills=n_prefills,
+            n_preemptions=n_preemptions,
+        )
+
     @property
     def n_requests(self) -> int:
-        return len(self.timings)
+        return self.stats.n
 
     @property
     def generated_tokens(self) -> int:
-        return sum(t.output_len for t in self.timings)
+        return self.stats.generated_tokens
 
     @property
     def throughput_tokens_per_s(self) -> float:
-        if not self.timings:
+        if not self.n_requests:
             return 0.0
         return self.generated_tokens / self.makespan_s
 
     @property
     def completed_per_s(self) -> float:
-        if not self.timings:
+        if not self.n_requests:
             return 0.0
         return self.n_requests / self.makespan_s
 
     # -- latency distributions -------------------------------------------------
 
     def ttft_percentile(self, p: float) -> float:
-        if not self.timings:
-            return float("nan")
-        return percentile([t.ttft_s for t in self.timings], p)
+        return self.stats.ttft_percentile(p)
 
     def tpot_percentile(self, p: float) -> float:
-        if not self.timings:
-            return float("nan")
-        return percentile([t.tpot_s for t in self.timings], p)
+        return self.stats.tpot_percentile(p)
 
     def e2e_percentile(self, p: float) -> float:
-        if not self.timings:
-            return float("nan")
-        return percentile([t.e2e_s for t in self.timings], p)
+        return self.stats.e2e_percentile(p)
 
     # -- SLO-conditioned metrics ----------------------------------------------
 
     def slo_attainment(self, slo: SloSpec) -> float:
         """Fraction of requests that met the SLO (0 when none completed)."""
-        if not self.timings:
+        if not self.n_requests:
             return 0.0
-        return sum(slo.met_by(t) for t in self.timings) / self.n_requests
+        return self.stats.slo_met(slo) / self.n_requests
 
     def goodput(self, slo: SloSpec) -> float:
         """SLO-meeting completions per second of makespan."""
-        if not self.timings:
+        if not self.n_requests:
             return 0.0
-        return sum(slo.met_by(t) for t in self.timings) / self.makespan_s
+        return self.stats.slo_met(slo) / self.makespan_s
 
     def to_payload(self, slo: SloSpec | None = None) -> dict:
         """JSON-serializable summary (what the ``serving_slo`` trial caches)."""
@@ -183,3 +378,68 @@ class ServingReport:
             payload["slo_attainment"] = self.slo_attainment(slo)
             payload["goodput_rps"] = self.goodput(slo)
         return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineStats:
+    """Streaming outcome of one engine run (the O(1)-memory EngineTrace).
+
+    What :meth:`ServingEngine.serve_stats` returns: the per-request
+    stream already folded into a :class:`RequestStats`, plus the same
+    run-level counters :class:`~repro.serving.engine.EngineTrace`
+    carries — everything :meth:`report` needs, nothing per-event.
+    """
+
+    requests: RequestStats
+    start_s: float  #: first arrival
+    end_s: float  #: last completion
+    mean_queue_depth: float
+    max_queue_depth: int
+    n_iterations: int
+    n_prefills: int
+    preemptions: int = 0
+
+    @property
+    def makespan_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def report(self) -> ServingReport:
+        return ServingReport(
+            stats=self.requests,
+            makespan_s=self.makespan_s,
+            mean_queue_depth=self.mean_queue_depth,
+            max_queue_depth=self.max_queue_depth,
+            n_iterations=self.n_iterations,
+            n_prefills=self.n_prefills,
+            n_preemptions=self.preemptions,
+        )
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Sequence["EngineStats"],
+        capacity: int | None = None,
+    ) -> "EngineStats":
+        """Fold replica stats into one, mirroring ``ClusterTrace.merged``:
+        identity for a single part, depth areas add over the cluster-wide
+        span for many."""
+        if not parts:
+            raise ValueError("cannot merge zero engine stats")
+        if len(parts) == 1:
+            return parts[0]
+        start = min(p.start_s for p in parts)
+        end = max(p.end_s for p in parts)
+        span = max(end - start, 1e-12)
+        depth_area = sum(p.mean_queue_depth * p.makespan_s for p in parts)
+        return cls(
+            requests=RequestStats.merge(
+                (p.requests for p in parts), capacity
+            ),
+            start_s=start,
+            end_s=end,
+            mean_queue_depth=depth_area / span,
+            max_queue_depth=max(p.max_queue_depth for p in parts),
+            n_iterations=sum(p.n_iterations for p in parts),
+            n_prefills=sum(p.n_prefills for p in parts),
+            preemptions=sum(p.preemptions for p in parts),
+        )

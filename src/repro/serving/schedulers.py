@@ -44,12 +44,18 @@ from __future__ import annotations
 import abc
 import dataclasses
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
 from repro.workloads.requests import TimedRequest
 from repro.workloads.serving import clamped_stride
+
+if TYPE_CHECKING:
+    from repro.serving.slots import SlotView
 
 
 @dataclasses.dataclass
@@ -115,10 +121,26 @@ class Scheduler(abc.ABC):
       its recompute-style re-prefill).
     * :meth:`release` — a resident request completed or was preempted;
       return its reservation.  Called exactly once per completion.
+
+    **Coalescing contract.**  A scheduler declaring :attr:`coalescable`
+    promises that between two batch-composition events (admission,
+    finish, arrival crossing) a stretch of decode iterations is fully
+    predictable: :meth:`prepare_iteration` never evicts, :meth:`admit`
+    depends only on the queue and the running *composition* (never on
+    residents' decode progress), and :meth:`decode_run` returns exactly
+    the ``(batch, seq)`` points that calling :meth:`iteration_shape`
+    once per step would — so the engine may price the whole run from a
+    :class:`~repro.serving.slots.SlotView` without touching per-request
+    state.  A policy that reserves or evicts per token (paged KV) must
+    set it False and take the scalar path.  Overriding
+    :meth:`iteration_shape` obliges overriding :meth:`decode_run` to
+    match; the engine refuses to coalesce when only the former changed.
     """
 
     #: registry name (``--set scheduler=...`` on the CLI)
     name: str = "?"
+    #: safe to price decode runs many iterations at a time (see contract)
+    coalescable: bool = True
     #: static batching keeps finished requests in their (padded) slots
     keep_finished: bool = False
     #: prompt tokens per prefill chunk; ``None`` means monolithic prefill
@@ -199,6 +221,28 @@ class Scheduler(abc.ABC):
         contexts = [r.priced_context for r in running]
         return len(running), int(round(sum(contexts) / len(contexts)))
 
+    def decode_run(
+        self, slots: SlotView, steps: int
+    ) -> tuple[int, np.ndarray]:
+        """Pricing points for ``steps`` consecutive decode iterations.
+
+        The vectorized counterpart of :meth:`iteration_shape`: element
+        ``j`` of the returned context array must *bit-exactly* equal the
+        scalar shape after ``j`` tokens of progress on every slot (the
+        differential tests enforce this).  Mean-context arithmetic stays
+        exact because integer sums are exact in int64, ``totals / n``
+        performs the same correctly-rounded float64 division as Python's
+        ``int / int``, and ``np.rint`` rounds half-to-even exactly like
+        builtin ``round``.
+        """
+        offsets = np.arange(steps, dtype=np.int64)
+        anchored = (
+            (slots.generated[:, None] + offsets[None, :])
+            // slots.stride[:, None] * slots.stride[:, None]
+        )
+        totals = (slots.input_len[:, None] + anchored).sum(axis=0)
+        return slots.n_slots, np.rint(totals / slots.n_slots).astype(np.int64)
+
 
 class StaticBatchScheduler(Scheduler):
     """Fixed-size batches run to completion (the paper's serving shape)."""
@@ -238,6 +282,23 @@ class StaticBatchScheduler(Scheduler):
         )
         position = max(r.generated for r in running)
         return len(running), input_len + (position // stride) * stride
+
+    def decode_run(
+        self, slots: SlotView, steps: int
+    ) -> tuple[int, np.ndarray]:
+        """Padded-cohort pricing over a whole run: batch counts every
+        slot (finished ones still hold theirs), and the shared decode
+        position is the max over frozen finished slots and the advancing
+        active ones."""
+        input_len = int(slots.input_len.max())
+        stride = clamped_stride(self.step_stride, int(slots.output_len.max()))
+        active = ~slots.done
+        frozen = int(slots.generated[slots.done].max(initial=0))
+        advancing = int(slots.generated[active].max())
+        positions = np.maximum(
+            frozen, advancing + np.arange(steps, dtype=np.int64)
+        )
+        return slots.n_slots, input_len + positions // stride * stride
 
 
 class FcfsContinuousScheduler(Scheduler):
@@ -412,6 +473,10 @@ class PagedScheduler(Scheduler):
     """
 
     name = "paged"
+    #: block growth and eviction happen per token inside
+    #: :meth:`prepare_iteration` — the one policy the engine must step
+    #: one scalar iteration at a time
+    coalescable = False
 
     def __init__(
         self,

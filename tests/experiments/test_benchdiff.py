@@ -91,6 +91,43 @@ class TestDiffReports:
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):
             diff_reports(report({"GPU": BASE}), report({"GPU": BASE}), -1.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_reports(
+                report({"GPU": BASE}),
+                report({"GPU": BASE}),
+                wall_tolerance_pct=-1.0,
+            )
+
+    def test_metric_in_one_report_surfaced_not_failed(self):
+        old = report({"GPU": {**BASE, "e2e_p99_s": 2.0}})
+        new = report({"GPU": {**BASE, "completed_per_s": 4.0}})
+        diff = diff_reports(old, new)
+        assert diff.ok  # schema drift is surfaced, never a regression
+        assert diff.removed_metrics == ("(only trial) e2e_p99_s",)
+        assert diff.added_metrics == ("(only trial) completed_per_s",)
+        summary = diff.summary()
+        assert "metric(s) removed (1): (only trial) e2e_p99_s" in summary
+        assert "metric(s) added (1): (only trial) completed_per_s" in summary
+
+    def test_wall_metrics_get_their_own_tolerance(self):
+        old = report({"GPU": {**BASE, "wall_s": 1.0}})
+        # wall 20% slower, simulated metrics unchanged: within the 30%
+        # wall band even though it would blow the 5% simulation band.
+        new = report({"GPU": {**BASE, "wall_s": 1.2}})
+        assert diff_reports(old, new).ok
+        assert not diff_reports(old, new, wall_tolerance_pct=10.0).ok
+        # The tight simulation tolerance still applies to everything else.
+        slower = report(
+            {"GPU": {**BASE, "wall_s": 1.0, "ttft_p99_s": 0.6}}
+        )
+        assert not diff_reports(old, slower).ok
+
+    def test_wall_direction_is_smaller_is_better(self):
+        old = report({"GPU": {**BASE, "wall_s": 2.0}})
+        new = report({"GPU": {**BASE, "wall_s": 1.0}})  # 2x faster
+        diff = diff_reports(old, new)
+        (delta,) = [d for d in diff.deltas if d.metric == "wall_s"]
+        assert delta.change_pct > 0  # oriented: positive = better
 
 
 class TestCli:

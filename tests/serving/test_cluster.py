@@ -125,11 +125,13 @@ class TestClusterMerge:
         self, router, pimba_system, zamba_spec
     ):
         trace = poisson_trace(20.0, 40, seed=0)
-        report = build_cluster(
+        cluster = build_cluster(
             pimba_system, zamba_spec, 3, router=router, max_batch=8
-        ).run(trace)
+        )
+        merged = cluster.serve(trace).merged()
+        assert sorted(t.request_id for t in merged.timings) == list(range(40))
+        report = cluster.run(trace)
         assert report.n_requests == 40
-        assert sorted(t.request_id for t in report.timings) == list(range(40))
         assert sum(r.n_requests for r in report.per_replica) == 40
 
     def test_merged_statistics_aggregate_replicas(

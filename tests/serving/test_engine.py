@@ -77,11 +77,11 @@ class TestStaticEquivalence:
 class TestContinuousBatching:
     def test_all_requests_complete_with_ordered_timestamps(self, zamba_spec):
         trace = poisson_trace(8.0, 40, seed=0)
-        report = engine_for(
+        run = engine_for(
             SystemKind.PIMBA, zamba_spec, FcfsContinuousScheduler(8)
-        ).run(trace)
-        assert report.n_requests == 40
-        for t in report.timings:
+        ).serve(trace)
+        assert run.report().n_requests == 40
+        for t in run.timings:
             assert t.arrival_s <= t.admitted_s <= t.first_token_s <= t.finished_s
             assert t.tpot_s > 0
 
@@ -419,7 +419,7 @@ class TestPagedScheduling:
         # The report surfaces the same counters the raw trace carries.
         report = thrashing.report()
         assert report.n_preemptions == thrashing.preemptions
-        assert sum(t.preemptions for t in report.timings) == (
+        assert sum(t.preemptions for t in thrashing.timings) == (
             thrashing.preemptions
         )
 

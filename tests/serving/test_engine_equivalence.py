@@ -1,0 +1,247 @@
+"""Differential harness: the vectorized engine vs the scalar reference.
+
+The production :class:`~repro.serving.engine.ServingEngine` coalesces
+decode stretches and prices them through vectorized scheduler math; the
+:class:`~repro.serving._reference.ReferenceEngine` is the pre-vectorization
+scalar loop kept in-tree as the executable specification.  These tests pin
+the two together *bit for bit* — not approximately — across every
+scheduler policy, so any drift in the hot path (a clock accumulated in a
+different order, a pricing point rounded differently, a finisher stamped
+one iteration late) turns the suite red instead of quietly skewing every
+serving result downstream.
+
+The same harness pins the streaming side: ``run()`` (reservoir-backed,
+O(1) memory) must produce the *identical* payload as the full event
+record's report while traces fit the sketch capacity, and a scheduler's
+vectorized ``decode_run`` must equal its own scalar ``iteration_shape``
+stepped one iteration at a time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import (
+    ChunkedPrefillScheduler,
+    MemoryModel,
+    PagedScheduler,
+    ReferenceEngine,
+    RunningRequest,
+    ServingEngine,
+    SloSpec,
+    SlotView,
+    build_cluster,
+    build_scheduler,
+    fixed_lengths,
+    gamma_trace,
+    lognormal_lengths,
+    poisson_trace,
+)
+from repro.workloads.requests import Request, TimedRequest
+
+BUDGET = 96
+
+SCHEDULERS = (
+    "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
+    "paged", "paged+tight",
+)
+
+TRACES = {
+    "poisson": lambda: poisson_trace(
+        12.0, 32, fixed_lengths(256, 32), seed=0
+    ),
+    "bursty": lambda: gamma_trace(
+        8.0, 24, cv=3.0, lengths=fixed_lengths(256, 32), seed=1
+    ),
+    "ragged": lambda: poisson_trace(
+        6.0, 24, lognormal_lengths(192, 24, 0.6), seed=2
+    ),
+}
+
+SLO = SloSpec(ttft_s=2.0, tpot_s=0.018)
+
+
+@pytest.fixture(scope="module")
+def zamba_spec():
+    return spec_for("Zamba2")
+
+
+@pytest.fixture(scope="module")
+def pimba_system():
+    return build_system(SystemKind.PIMBA, "small")
+
+
+def make_scheduler(name, system, spec):
+    if name == "chunked+hbm":
+        return ChunkedPrefillScheduler(
+            BUDGET,
+            max_batch=8,
+            memory=MemoryModel.for_system(system, spec),
+            capacity_bytes=system.capacity_bytes,
+        )
+    if name == "paged+tight":
+        memory = MemoryModel.for_system(system, spec)
+        return PagedScheduler(
+            memory,
+            memory.weights_bytes + 2.93 * memory.request_bytes(256, 32),
+            block_size=16,
+            max_batch=8,
+        )
+    return build_scheduler(
+        name, system, spec, max_batch=8, chunk_budget=BUDGET
+    )
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+class TestBitExactness:
+    """The vectorized engine IS the reference engine, to the last bit."""
+
+    def test_engine_trace_identical(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        trace = TRACES[trace_name]()
+        reference = ReferenceEngine(
+            pimba_system,
+            zamba_spec,
+            make_scheduler(scheduler_name, pimba_system, zamba_spec),
+        ).serve(trace)
+        vectorized = ServingEngine(
+            pimba_system,
+            zamba_spec,
+            make_scheduler(scheduler_name, pimba_system, zamba_spec),
+        ).serve(trace)
+        # asdict compares every timestamp, every priced iteration, and
+        # every counter; == on floats means bit-equal, not approx.
+        assert dataclasses.asdict(vectorized) == dataclasses.asdict(
+            reference
+        )
+
+    def test_streaming_run_matches_event_record(
+        self, scheduler_name, trace_name, pimba_system, zamba_spec
+    ):
+        """Below the sketch capacity the reservoir holds the whole
+        population, so the streaming path's payload must be *equal*, not
+        close, to the full event record's."""
+        trace = TRACES[trace_name]()
+        recorded = ServingEngine(
+            pimba_system,
+            zamba_spec,
+            make_scheduler(scheduler_name, pimba_system, zamba_spec),
+        ).serve(trace).report().to_payload(SLO)
+        streamed = ServingEngine(
+            pimba_system,
+            zamba_spec,
+            make_scheduler(scheduler_name, pimba_system, zamba_spec),
+        ).run(trace).to_payload(SLO)
+        assert streamed == recorded
+
+
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+def test_decode_run_equals_stepwise_iteration_shape(
+    scheduler_name, pimba_system, zamba_spec
+):
+    """A scheduler's vectorized run pricing must equal its own scalar
+    pricing stepped one iteration at a time (the coalescing contract).
+
+    Replays the engine's scalar decode loop — iteration_shape, advance
+    every active request one token, drop finishers (keep them frozen for
+    static batching) — and compares each step's (batch, seq) against the
+    one decode_run priced up front.  Ragged progress and per-request
+    strides make the anchored contexts move at different times.
+    """
+    scheduler = make_scheduler(scheduler_name, pimba_system, zamba_spec)
+
+    def member(rid, input_len, output_len, generated):
+        return RunningRequest(
+            timed=TimedRequest(
+                request=Request(
+                    request_id=rid,
+                    input_len=input_len,
+                    output_len=output_len,
+                ),
+                arrival_s=0.0,
+            ),
+            admitted_s=0.0,
+            stride=scheduler.request_stride(output_len),
+            generated=generated,
+        )
+
+    running = [
+        member(0, 256, 40, 7),
+        member(1, 192, 33, 0),
+        member(2, 256, 64, 31),
+        member(3, 64, 17, 2),
+    ]
+    slots = SlotView.from_requests(running)
+    steps = slots.max_coalesced_steps()
+    assert steps == 15  # request 3 finishes first: 17 - 2 tokens left
+
+    batch, seqs = scheduler.decode_run(slots, steps)
+    assert len(seqs) == steps
+
+    stepwise = []
+    for _ in range(steps):
+        b, s = scheduler.iteration_shape(running)
+        stepwise.append((b, s))
+        for r in running:
+            if not r.done:
+                r.generated += 1
+        if not scheduler.keep_finished:
+            running = [r for r in running if not r.done]
+    assert [(batch, int(s)) for s in seqs] == stepwise
+
+
+def test_static_decode_run_with_frozen_finished_slots(
+    pimba_system, zamba_spec
+):
+    """Static batching keeps finished requests resident (and priced) until
+    the whole cohort drains — the vectorized run must freeze their
+    contribution exactly like the scalar loop does."""
+    scheduler = build_scheduler("static", pimba_system, zamba_spec, max_batch=8)
+
+    def member(rid, output_len, generated):
+        return RunningRequest(
+            timed=TimedRequest(
+                request=Request(
+                    request_id=rid, input_len=128, output_len=output_len
+                ),
+                arrival_s=0.0,
+            ),
+            admitted_s=0.0,
+            stride=scheduler.request_stride(output_len),
+            generated=generated,
+        )
+
+    # One member already finished (frozen), two still decoding in
+    # lockstep — the static cohort's invariant state.
+    running = [member(0, 5, 5), member(1, 40, 5), member(2, 40, 5)]
+    slots = SlotView.from_requests(running)
+    steps = slots.max_coalesced_steps()
+    assert steps == 35
+
+    batch, seqs = scheduler.decode_run(slots, steps)
+    stepwise = []
+    for _ in range(steps):
+        b, s = scheduler.iteration_shape(running)
+        stepwise.append((b, s))
+        for r in running:
+            if not r.done:
+                r.generated += 1
+        # keep_finished: the cohort stays intact until everyone is done
+    assert [(batch, int(s)) for s in seqs] == stepwise
+
+
+class TestClusterStreaming:
+    def test_cluster_run_matches_event_path(self, pimba_system, zamba_spec):
+        """The streaming cluster run must reproduce the event-merging
+        path's payload exactly while every replica fits the sketch."""
+        trace = poisson_trace(20.0, 40, seed=0)
+        cluster = build_cluster(
+            pimba_system, zamba_spec, 3, router="least-loaded", max_batch=8
+        )
+        recorded = cluster.serve(trace).report().to_payload(SLO)
+        streamed = cluster.run(trace).to_payload(SLO)
+        assert streamed == recorded

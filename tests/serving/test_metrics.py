@@ -63,14 +63,16 @@ class TestPercentile:
 
 
 class TestServingReport:
-    def make_report(self):
-        timings = (
+    def make_timings(self):
+        return (
             timing(rid=0, first=1.0, finished=3.0),  # meets
             timing(rid=1, arrival=1.0, admitted=1.2, first=4.0,
                    finished=6.0),  # ttft 3.0
         )
-        return ServingReport(
-            timings=timings,
+
+    def make_report(self):
+        return ServingReport.from_timings(
+            self.make_timings(),
             makespan_s=6.0,
             mean_queue_depth=0.5,
             max_queue_depth=2,
@@ -106,9 +108,11 @@ class TestServingReport:
 
     def test_validation(self):
         with pytest.raises(ValueError, match="positive"):
-            ServingReport(self.make_report().timings, 0.0, 0.0, 0, 0, 0)
+            ServingReport.from_timings(
+                self.make_timings(), 0.0, 0.0, 0, 0, 0
+            )
         with pytest.raises(ValueError, match="non-negative"):
-            ServingReport((), -1.0, 0.0, 0, 0, 0)
+            ServingReport.from_timings((), -1.0, 0.0, 0, 0, 0)
 
 
 class TestEmptyReport:
@@ -117,8 +121,8 @@ class TestEmptyReport:
     empty percentile arrays."""
 
     def make_empty(self):
-        return ServingReport(
-            timings=(),
+        return ServingReport.from_timings(
+            (),
             makespan_s=0.0,
             mean_queue_depth=3.0,
             max_queue_depth=5,

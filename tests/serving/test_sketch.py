@@ -1,0 +1,152 @@
+"""The streaming percentile sketch: exactness, error bounds, O(1) memory.
+
+:class:`~repro.serving.metrics.RequestStats` backs every serving report.
+Its contract has two regimes — below capacity the reservoir *is* the
+population and everything derived from it is exact; above capacity it is
+a seeded uniform sample whose percentile estimates carry a documented
+rank-space standard error of ``sqrt(p * (1 - p) / K)``.  These tests pin
+both regimes against exact ``np.percentile`` over the full stream, and
+pin the properties the engine's streaming path relies on: memory capped
+at the capacity regardless of stream length, deterministic results for
+identical streams, and stream-weighted merging across cluster replicas.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    DEFAULT_SKETCH_CAPACITY,
+    RequestStats,
+    RequestTiming,
+    SloSpec,
+)
+
+
+def timing(rid, ttft, tail, input_len=8):
+    """A two-token request: ttft as given, tpot == tail, e2e == ttft+tail."""
+    return RequestTiming(
+        request_id=rid,
+        input_len=input_len,
+        output_len=2,
+        arrival_s=0.0,
+        admitted_s=0.0,
+        first_token_s=ttft,
+        finished_s=ttft + tail,
+    )
+
+
+def stream(n, seed=7):
+    """A seeded long-tailed latency stream (lognormal ttft, uniform tail)."""
+    rng = random.Random(seed)
+    return [
+        timing(i, rng.lognormvariate(0.0, 0.75), rng.uniform(0.01, 0.05))
+        for i in range(n)
+    ]
+
+
+def observe_all(timings, capacity):
+    stats = RequestStats(capacity)
+    for t in timings:
+        stats.observe(t)
+    return stats
+
+
+class TestExactRegime:
+    def test_percentiles_equal_np_percentile_below_capacity(self):
+        timings = stream(200)
+        stats = observe_all(timings, capacity=256)
+        assert stats.exact
+        for p in (0, 25, 50, 95, 99, 100):
+            assert stats.ttft_percentile(p) == float(
+                np.percentile([t.ttft_s for t in timings], p)
+            )
+            assert stats.e2e_percentile(p) == float(
+                np.percentile([t.e2e_s for t in timings], p)
+            )
+
+    def test_slo_count_is_exact_integer_below_capacity(self):
+        timings = stream(200)
+        stats = observe_all(timings, capacity=256)
+        slo = SloSpec(ttft_s=1.0, tpot_s=0.04)
+        met = stats.slo_met(slo)
+        assert met == sum(1 for t in timings if slo.met_by(t))
+        assert float(met).is_integer()
+
+    def test_token_counters_always_exact(self):
+        timings = stream(5000)
+        stats = observe_all(timings, capacity=64)  # overflowed 78x
+        assert stats.prompt_tokens == 8 * 5000
+        assert stats.generated_tokens == 2 * 5000
+        assert stats.n == 5000
+
+
+class TestSampledRegime:
+    def test_percentiles_agree_within_documented_rank_error(self):
+        """Above capacity the estimate must sit within the documented
+        rank-space error band (5 standard errors — the reservoir is
+        seeded, so this never flakes) of the exact percentile."""
+        n, capacity = 50_000, DEFAULT_SKETCH_CAPACITY
+        timings = stream(n)
+        stats = observe_all(timings, capacity)
+        assert not stats.exact
+        exact_ttfts = np.sort([t.ttft_s for t in timings])
+        for p in (10, 50, 90, 99):
+            estimate = stats.ttft_percentile(p)
+            rank_se = math.sqrt(p / 100 * (1 - p / 100) / capacity)
+            lo = float(np.percentile(exact_ttfts, max(0.0, p - 500 * rank_se)))
+            hi = float(
+                np.percentile(exact_ttfts, min(100.0, p + 500 * rank_se))
+            )
+            assert lo <= estimate <= hi
+
+    def test_memory_is_capacity_bound_on_a_long_stream(self):
+        capacity = 128
+        stats = RequestStats(capacity)
+        rng = random.Random(3)
+        for i in range(100_000):
+            stats.observe(timing(i, rng.random(), 0.02))
+            assert len(stats.rows) <= capacity
+        assert len(stats.rows) == capacity
+        assert stats.n == 100_000
+
+    def test_identical_streams_give_identical_sketches(self):
+        a = observe_all(stream(10_000), capacity=256)
+        b = observe_all(stream(10_000), capacity=256)
+        assert a == b
+        assert a.ttft_percentile(99) == b.ttft_percentile(99)
+
+
+class TestMerge:
+    def test_merge_is_exact_when_rows_fit(self):
+        parts = [observe_all(stream(100, seed=s), 256) for s in (1, 2, 3)]
+        merged = RequestStats.merge(parts, capacity=512)
+        assert merged.n == 300
+        assert merged.exact
+        every = [t for s in (1, 2, 3) for t in stream(100, seed=s)]
+        assert merged.ttft_percentile(95) == float(
+            np.percentile([t.ttft_s for t in every], 95)
+        )
+
+    def test_overflowing_merge_weights_parts_by_stream_length(self):
+        # Tag each part with a distinct constant ttft so the merged
+        # sample's composition is observable.
+        big = observe_all([timing(i, 1.0, 0.02) for i in range(3000)], 4096)
+        small = observe_all(
+            [timing(i, 2.0, 0.02) for i in range(1000)], 4096
+        )
+        merged = RequestStats.merge([big, small], capacity=1000)
+        assert merged.n == 4000
+        assert len(merged.rows) == 1000
+        big_share = sum(1 for row in merged.rows if row[0] == 1.0)
+        assert big_share == 750  # 1000 * 3000/4000, exact by construction
+        # SLO estimates scale the sample back to the stream.
+        slo = SloSpec(ttft_s=1.5, tpot_s=1.0)  # met only by the 1.0s part
+        assert merged.slo_met(slo) == pytest.approx(3000)
+
+    def test_single_part_merge_is_identity(self):
+        part = observe_all(stream(50), 256)
+        merged = RequestStats.merge([part])
+        assert merged == part
