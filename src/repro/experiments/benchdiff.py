@@ -5,12 +5,13 @@ CI uploads every sweep's raw trial results as a machine-readable report
 into a regression *gate*: ``repro bench diff OLD.json NEW.json`` matches
 trials across the two reports by their full parameter dict, compares
 every serving metric whose good direction is known (goodput and
-throughput must not drop; TTFT/TPOT/e2e tails must not grow), and fails
-when any change exceeds the tolerance — so a commit that silently slows
-the serving path turns the pipeline red instead of shipping.
+throughput must not drop; TTFT/TPOT/e2e tails and queue-depth
+percentiles must not grow), and fails when any change exceeds the
+tolerance — so a commit that silently slows the serving path turns the
+pipeline red instead of shipping.
 
 Only direction-known metrics participate.  Neutral payload entries
-(counts, makespans, queue depths) and non-dict trial values are ignored:
+(counts, makespans, mean queue depth) and non-dict trial values are ignored:
 a diff should flag *regressions*, not every jitter in bookkeeping.
 A direction-known metric present in only *one* report (a payload gained
 or lost a field between commits) is surfaced as added/removed in the
@@ -46,6 +47,8 @@ METRIC_DIRECTIONS: dict[str, bool] = {
     "tpot_p99_s": False,
     "e2e_p50_s": False,
     "e2e_p99_s": False,
+    "queue_depth_p50": False,
+    "queue_depth_p99": False,
     # batch-level throughput trials
     "tokens_per_second": True,
     "generation_throughput": True,

@@ -9,6 +9,7 @@ Usage::
     repro sweep chunking --set chunk_budget=128,512   # prefill shaping
     repro figure ttft_tradeoff              # chunk budget vs TTFT/TPOT
     repro bench diff OLD.json NEW.json --tolerance 5   # CI perf gate
+    repro trace export --trial serving_slo --out trace.json  # Perfetto
     repro cache info                # where is the cache, how big is it?
     repro cache clear
     python -m repro ...             # same thing without the console script
@@ -131,6 +132,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="allowed regression for wall-clock metrics, which carry "
         "runner noise (default: 30)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="export flight-recorder timelines from a serving trial"
+    )
+    trace_actions = trace.add_subparsers(dest="trace_action", required=True)
+    export = trace_actions.add_parser(
+        "export",
+        help="run one trial with the collector attached and write a "
+        "Perfetto/chrome-tracing JSON file",
+    )
+    export.add_argument(
+        "--trial",
+        default="serving_slo",
+        choices=("serving_slo", "cluster_slo"),
+        help="trial function to instrument (default: serving_slo)",
+    )
+    export.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="PARAM=VALUE",
+        help="override one trial parameter (repeatable)",
+    )
+    export.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="output path for the trace-event JSON",
     )
 
     cache = commands.add_parser("cache", help="inspect or clear the result cache")
@@ -275,6 +306,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.serving.experiments import collect_timeline
+    from repro.serving.telemetry import write_trace_file
+
+    params = {}
+    try:
+        for text in args.overrides:
+            name, values = parse_axis_override(text)
+            if len(values) != 1:
+                raise ValueError(
+                    f"trace export takes one value per --set, got {text!r}"
+                )
+            params[name] = values[0]
+        timeline, _slo, payload = collect_timeline(args.trial, **params)
+    except (KeyError, ValueError) as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
+    wrapper = write_trace_file(timeline, args.out)
+    tracks = timeline.tracks
+    n_spans = sum(len(t.spans) for t in tracks)
+    print(
+        f"wrote {len(wrapper['traceEvents'])} trace events "
+        f"({len(tracks)} track(s), {n_spans} spans) to {args.out}"
+    )
+    print(
+        "goodput {goodput_rps:.3f} req/s, ttft p99 {ttft_p99_s:.4f} s".format(
+            **payload
+        )
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -300,6 +364,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_sweep(args)

@@ -123,6 +123,16 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.preemption_tradeoff_assemble,
         render=serving_experiments.preemption_tradeoff_render,
     ),
+    "utilization_timeline": Figure(
+        name="utilization_timeline",
+        title=(
+            "Utilization timeline: per-window TTFT/occupancy/queue depth "
+            "of the paged-vs-memory face-off at the knee"
+        ),
+        spec=serving_experiments.utilization_timeline_spec,
+        assemble=serving_experiments.utilization_timeline_assemble,
+        render=serving_experiments.utilization_timeline_render,
+    ),
     "ttft_tradeoff": Figure(
         name="ttft_tradeoff",
         title=(

@@ -58,6 +58,7 @@ from repro.serving.routing import (
 )
 from repro.serving.metrics import (
     DEFAULT_SKETCH_CAPACITY,
+    DepthSketch,
     EngineStats,
     RequestStats,
     RequestTiming,
@@ -66,6 +67,15 @@ from repro.serving.metrics import (
     percentile,
 )
 from repro.serving.slots import SlotView
+from repro.serving.telemetry import (
+    Collector,
+    NullCollector,
+    Timeline,
+    TimelineCollector,
+    Track,
+    validate_trace_events,
+    write_trace_file,
+)
 from repro.serving.schedulers import (
     ChunkedPrefillScheduler,
     FcfsContinuousScheduler,
@@ -106,6 +116,14 @@ __all__ = [
     "build_router",
     "load_imbalance",
     "DEFAULT_SKETCH_CAPACITY",
+    "DepthSketch",
+    "Collector",
+    "NullCollector",
+    "Timeline",
+    "TimelineCollector",
+    "Track",
+    "validate_trace_events",
+    "write_trace_file",
     "EngineStats",
     "RequestStats",
     "RequestTiming",

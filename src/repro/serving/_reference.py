@@ -31,7 +31,12 @@ from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 from repro.serving.costs import IterationCostModel
 from repro.serving.engine import EngineTrace, _PrefillCohort
-from repro.serving.metrics import RequestTiming, ServingReport
+from repro.serving.metrics import (
+    DEFAULT_SKETCH_CAPACITY,
+    DepthSketch,
+    RequestTiming,
+    ServingReport,
+)
 from repro.serving.schedulers import RunningRequest, Scheduler
 from repro.workloads.requests import Trace
 
@@ -69,10 +74,25 @@ class ReferenceEngine:
         clock = start
         depth_area = 0.0
         max_depth = 0
+        # Mirror of the vectorized engine's depth-segment accumulation:
+        # flush a weighted segment only when the depth changes, so both
+        # engines consume identical RNG streams and their sketches
+        # compare equal bit for bit.
+        depth_sketch = DepthSketch(DEFAULT_SKETCH_CAPACITY)
+        cur_depth = 0
+        depth_acc = 0.0
+
+        def set_depth(n: int) -> None:
+            nonlocal cur_depth, depth_acc
+            if depth_acc > 0.0:
+                depth_sketch.observe(cur_depth, depth_acc)
+                depth_acc = 0.0
+            cur_depth = n
 
         def advance(dt: float) -> None:
-            nonlocal clock, depth_area
+            nonlocal clock, depth_area, depth_acc
             depth_area += len(queue) * dt
+            depth_acc += dt
             clock += dt
 
         def generate(members: list[RunningRequest]) -> int:
@@ -94,7 +114,10 @@ class ReferenceEngine:
         while pending or queue or running or preempted:
             while pending and pending[0].arrival_s <= clock:
                 queue.append(pending.popleft())
-            max_depth = max(max_depth, len(queue))
+            qn = len(queue)
+            max_depth = max(max_depth, qn)
+            if qn != cur_depth:
+                set_depth(qn)
 
             if preempted:
                 # Preempted requests are older than everything still
@@ -133,6 +156,7 @@ class ReferenceEngine:
                 )
             if admitted_n > 0:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
+                set_depth(len(queue))
                 admitted_s = clock
                 cohort_input = max(t.input_len for t in admitted)
                 members = [
@@ -237,6 +261,8 @@ class ReferenceEngine:
                 "the head request exceeds the admission bound"
             )
 
+        if depth_acc > 0.0:
+            depth_sketch.observe(cur_depth, depth_acc)
         end = clock
         timings = tuple(
             RequestTiming(
@@ -263,6 +289,7 @@ class ReferenceEngine:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max_depth,
             preemptions=preemptions,
+            depth=depth_sketch,
         )
 
     def run(self, trace: Trace) -> ServingReport:

@@ -23,17 +23,22 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 from repro.serving.engine import EngineTrace, ServingEngine
 from repro.serving.metrics import (
     DEFAULT_SKETCH_CAPACITY,
+    DepthSketch,
     EngineStats,
     RequestTiming,
     ServingReport,
     SloSpec,
 )
+
+if TYPE_CHECKING:  # telemetry stays optional at runtime
+    from repro.serving.telemetry import Collector
 from repro.serving.routing import (
     AffinityKey,
     Router,
@@ -145,6 +150,7 @@ class ClusterTrace:
         end = max(t.end_s for t in active)
         span = max(end - start, 1e-12)
         depth_area = sum(t.mean_queue_depth * t.makespan_s for t in active)
+        depths = [t.depth for t in active if t.depth is not None]
         return EngineTrace(
             timings=tuple(timings),
             iteration_seconds=tuple(
@@ -164,6 +170,7 @@ class ClusterTrace:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max(t.max_queue_depth for t in active),
             preemptions=sum(t.preemptions for t in active),
+            depth=DepthSketch.merge(depths) if depths else None,
         )
 
     def report(self) -> ClusterReport:
@@ -217,15 +224,27 @@ class ClusterEngine:
     def n_replicas(self) -> int:
         return len(self.replicas)
 
-    def serve(self, trace: Trace) -> ClusterTrace:
-        """Route ``trace``, run every dispatched replica, keep the split."""
+    def serve(
+        self, trace: Trace, collector: "Collector | None" = None
+    ) -> ClusterTrace:
+        """Route ``trace``, run every dispatched replica, keep the split.
+
+        A ``collector`` forks one child per dispatched replica
+        (:meth:`~repro.serving.telemetry.Collector.fork`), so the merged
+        timeline keeps one track per node.
+        """
         self.router.reset()  # a reused engine must route like a fresh one
         assignments = self.router.assign(trace)
         parts = trace.partition(assignments)
         return ClusterTrace(
             assignments=assignments,
             replicas=tuple(
-                engine.serve(parts[i]) if i in parts else None
+                engine.serve(
+                    parts[i],
+                    None if collector is None else collector.fork(i),
+                )
+                if i in parts
+                else None
                 for i, engine in enumerate(self.replicas)
             ),
             router=self.router.name,
@@ -235,6 +254,7 @@ class ClusterEngine:
         self,
         trace: Trace,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+        collector: "Collector | None" = None,
     ) -> ClusterReport:
         """Serve ``trace`` (streaming) and return the merged report.
 
@@ -252,7 +272,11 @@ class ClusterEngine:
         assignments = self.router.assign(trace)
         parts = trace.partition(assignments)
         stats = tuple(
-            engine.serve_stats(parts[i], sketch_capacity)
+            engine.serve_stats(
+                parts[i],
+                sketch_capacity,
+                None if collector is None else collector.fork(i),
+            )
             if i in parts
             else None
             for i, engine in enumerate(self.replicas)

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -67,6 +68,7 @@ from repro.perf.system import ServingSystem
 from repro.serving.costs import IterationCostModel
 from repro.serving.metrics import (
     DEFAULT_SKETCH_CAPACITY,
+    DepthSketch,
     EngineStats,
     RequestStats,
     RequestTiming,
@@ -75,6 +77,9 @@ from repro.serving.metrics import (
 from repro.serving.schedulers import RunningRequest, Scheduler
 from repro.serving.slots import SlotView
 from repro.workloads.requests import Trace
+
+if TYPE_CHECKING:  # telemetry is optional at runtime; never imported here
+    from repro.serving.telemetry import Collector
 
 #: cap on iterations priced per coalesced run — bounds the batch x steps
 #: pricing matrix a single ``decode_run`` call materializes (a longer
@@ -96,6 +101,9 @@ class EngineTrace:
     mean_queue_depth: float
     max_queue_depth: int
     preemptions: int = 0  #: paged evictions (each implies one restore)
+    #: time-weighted queue-depth sketch (p50/p99); optional so that
+    #: hand-built traces in tests stay valid without one
+    depth: DepthSketch | None = None
 
     @property
     def makespan_s(self) -> float:
@@ -117,6 +125,7 @@ class EngineTrace:
             n_iterations=len(self.iteration_seconds),
             n_prefills=len(self.prefill_seconds),
             preemptions=self.preemptions,
+            depth=self.depth,
         )
 
     def report(self) -> ServingReport:
@@ -245,11 +254,18 @@ class ServingEngine:
             or cls.iteration_shape is Scheduler.iteration_shape
         )
 
-    def serve(self, trace: Trace) -> EngineTrace:
-        """Run ``trace`` to completion and return the raw event record."""
+    def serve(
+        self, trace: Trace, collector: "Collector | None" = None
+    ) -> EngineTrace:
+        """Run ``trace`` to completion and return the raw event record.
+
+        ``collector`` optionally taps the run's span/gauge stream (see
+        :mod:`repro.serving.telemetry`); the simulation itself — every
+        priced event, every timestamp — is identical with or without one.
+        """
         recorder = _TraceRecorder()
-        start, end, depth_area, max_depth, preemptions = self._serve(
-            trace, recorder
+        start, end, depth_area, max_depth, preemptions, depth = self._serve(
+            trace, recorder, collector
         )
         timings = tuple(
             RequestTiming(
@@ -278,12 +294,14 @@ class ServingEngine:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max_depth,
             preemptions=preemptions,
+            depth=depth,
         )
 
     def serve_stats(
         self,
         trace: Trace,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+        collector: "Collector | None" = None,
     ) -> EngineStats:
         """Serve ``trace`` keeping O(1) memory: stream, don't record.
 
@@ -296,8 +314,8 @@ class ServingEngine:
         above it, latency percentiles come from the seeded sample.
         """
         recorder = _StatsRecorder(sketch_capacity)
-        start, end, depth_area, max_depth, preemptions = self._serve(
-            trace, recorder
+        start, end, depth_area, max_depth, preemptions, depth = self._serve(
+            trace, recorder, collector, sketch_capacity
         )
         span = max(end - start, 1e-12)
         return EngineStats(
@@ -309,19 +327,28 @@ class ServingEngine:
             n_iterations=recorder.n_iterations,
             n_prefills=recorder.n_prefills,
             preemptions=preemptions,
+            depth=depth,
         )
 
-    def run(self, trace: Trace) -> ServingReport:
+    def run(
+        self, trace: Trace, collector: "Collector | None" = None
+    ) -> ServingReport:
         """Serve ``trace`` (streaming) and return the aggregated report."""
-        return self.serve_stats(trace).report()
+        return self.serve_stats(trace, collector=collector).report()
 
     def _serve(
-        self, trace: Trace, rec
-    ) -> tuple[float, float, float, int, int]:
+        self,
+        trace: Trace,
+        rec,
+        col: "Collector | None" = None,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> tuple[float, float, float, int, int, DepthSketch]:
         """The event loop; returns (start, end, depth_area, max_depth,
-        preemptions) and emits events through ``rec``."""
+        preemptions, depth_sketch) and emits events through ``rec``."""
         budget = self.scheduler.chunk_budget
         coalesce = self._coalesce
+        #: one bool gates every telemetry touch on the hot path
+        tel = col is not None and col.enabled
         pending = collections.deque(trace.requests)
         queue: list = []
         running: list[RunningRequest] = []
@@ -333,10 +360,25 @@ class ServingEngine:
         clock = start
         depth_area = 0.0
         max_depth = 0
+        # Queue depth is piecewise-constant: accumulate time at the
+        # current depth and flush one weighted segment into the sketch
+        # only when the depth *changes* — O(queue mutations) RNG cost,
+        # never per iteration.
+        depth_sketch = DepthSketch(sketch_capacity)
+        cur_depth = 0
+        depth_acc = 0.0
+
+        def set_depth(n: int) -> None:
+            nonlocal cur_depth, depth_acc
+            if depth_acc > 0.0:
+                depth_sketch.observe(cur_depth, depth_acc)
+                depth_acc = 0.0
+            cur_depth = n
 
         def advance(dt: float) -> None:
-            nonlocal clock, depth_area
+            nonlocal clock, depth_area, depth_acc
             depth_area += len(queue) * dt
+            depth_acc += dt
             clock += dt
 
         def generate(members: list[RunningRequest]) -> int:
@@ -353,12 +395,17 @@ class ServingEngine:
                     r.finished_s = clock
                     self.scheduler.release(r)
                     rec.finish(r)
+                    if tel:
+                        col.finish(r)
             return n
 
         while pending or queue or running or preempted:
             while pending and pending[0].arrival_s <= clock:
                 queue.append(pending.popleft())
-            max_depth = max(max_depth, len(queue))
+            qn = len(queue)
+            max_depth = max(max_depth, qn)
+            if qn != cur_depth:
+                set_depth(qn)
 
             if preempted:
                 # Preempted requests are older than everything still
@@ -386,8 +433,15 @@ class ServingEngine:
                     # every token generated before the eviction.
                     context = head.input_len + head.generated
                     dt = self.cost.prefill_seconds(1, context)
+                    t0 = clock
                     advance(dt)
                     rec.prefill(dt, context)
+                    if tel:
+                        col.prefill_span(t0, clock, context, (head,), "restore")
+                        col.gauge(
+                            clock, len(queue), len(running),
+                            self.scheduler.blocks_in_use, preemptions,
+                        )
                     continue
                 admitted_n = 0
             else:
@@ -396,6 +450,7 @@ class ServingEngine:
                 )
             if admitted_n > 0:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
+                set_depth(len(queue))
                 admitted_s = clock
                 cohort_input = max(t.input_len for t in admitted)
                 members = [
@@ -413,10 +468,19 @@ class ServingEngine:
                     dt = self.cost.prefill_seconds(len(admitted), cohort_input)
                     advance(dt)
                     rec.prefill(dt, cohort_input)
+                    if tel:
+                        col.prefill_span(
+                            admitted_s, clock, cohort_input, members, "prefill"
+                        )
                 else:
                     # Chunking: no clock movement at admission — the
                     # prompt is streamed by the chunk iterations below.
                     cohorts.append(_PrefillCohort(members, cohort_input))
+                if tel:
+                    col.gauge(
+                        clock, len(queue), len(running),
+                        self.scheduler.blocks_in_use, preemptions,
+                    )
                 continue
 
             if cohorts:
@@ -444,17 +508,28 @@ class ServingEngine:
                     )
                 else:
                     dt = chunk_s
+                t0 = clock
                 advance(dt)
                 rec.prefill(chunk_s, chunk)
                 cohort.done += chunk
                 cohort.chunks += 1
+                if tel:
+                    col.prefill_span(t0, clock, chunk, cohort.members, "chunk")
                 if fused:
-                    rec.decode(dt, generate(fused))
+                    n_tok = generate(fused)
+                    rec.decode(dt, n_tok)
+                    if tel:
+                        col.decode_span(t0, clock, 1, n_tok, fused)
                     running = [r for r in running if not r.done]
                 if cohort.remaining == 0:
                     for r in cohort.members:
                         r.prefilled = True
                     cohorts.popleft()
+                if tel:
+                    col.gauge(
+                        clock, len(queue), len(running),
+                        self.scheduler.blocks_in_use, preemptions,
+                    )
                 continue
 
             if running and coalesce:
@@ -479,6 +554,7 @@ class ServingEngine:
                     executed = 0
                     for dt in dts:
                         depth_area += qlen * dt
+                        depth_acc += dt
                         clock += dt
                         executed += 1
                         if next_arrival <= clock:
@@ -486,6 +562,7 @@ class ServingEngine:
                 else:
                     for dt in dts:
                         depth_area += qlen * dt
+                        depth_acc += dt
                         clock += dt
                     executed = steps
                 # Bit-exact re-derivation: after the first iteration the
@@ -505,6 +582,16 @@ class ServingEngine:
                         r.finished_s = clock
                         self.scheduler.release(r)
                         rec.finish(r)
+                        if tel:
+                            col.finish(r)
+                if tel:
+                    # The whole coalesced stretch is one decode span; the
+                    # exporter expands it per member (the batch could not
+                    # change mid-run — that is what made it coalescable).
+                    col.decode_span(
+                        clock_before, clock, executed,
+                        executed * slots.n_active, slots.requests,
+                    )
                 if executed == steps:
                     # Only a full run can finish anyone (executed equals
                     # the minimum remaining output among active slots).
@@ -513,6 +600,11 @@ class ServingEngine:
                             running.clear()
                     else:
                         running = [r for r in running if not r.done]
+                if tel:
+                    col.gauge(
+                        clock, len(queue), len(running),
+                        self.scheduler.blocks_in_use, preemptions,
+                    )
                 continue
 
             if running:
@@ -531,21 +623,42 @@ class ServingEngine:
                     preempted.sort(
                         key=lambda r: (r.admitted_s, r.timed.request_id)
                     )
+                    if tel:
+                        col.preempt(clock, victims)
                     if not running:
+                        if tel:
+                            col.gauge(
+                                clock, len(queue), 0,
+                                self.scheduler.blocks_in_use, preemptions,
+                            )
                         continue
                 batch, seq = self.scheduler.iteration_shape(running)
                 dt = self.cost.decode_seconds(batch, seq)
+                t0 = clock
                 advance(dt)
-                rec.decode(dt, generate(running))
+                n_tok = generate(running)
+                rec.decode(dt, n_tok)
+                if tel:
+                    col.decode_span(t0, clock, 1, n_tok, running)
                 if self.scheduler.keep_finished:
                     if all(r.done for r in running):
                         running.clear()
                 else:
                     running = [r for r in running if not r.done]
+                if tel:
+                    col.gauge(
+                        clock, len(queue), len(running),
+                        self.scheduler.blocks_in_use, preemptions,
+                    )
                 continue
 
             if pending:
                 advance(pending[0].arrival_s - clock)
+                if tel:
+                    col.gauge(
+                        clock, len(queue), len(running),
+                        self.scheduler.blocks_in_use, preemptions,
+                    )
                 continue
 
             raise RuntimeError(
@@ -554,4 +667,6 @@ class ServingEngine:
                 "the head request exceeds the admission bound"
             )
 
-        return start, clock, depth_area, max_depth, preemptions
+        if depth_acc > 0.0:
+            depth_sketch.observe(cur_depth, depth_acc)
+        return start, clock, depth_area, max_depth, preemptions, depth_sketch

@@ -25,16 +25,26 @@ goodput gained from tighter admission vs latency lost to
 preempt/restore thrashing) and the ``paged`` sweep (block-size
 sensitivity of the paged policy at a fixed capacity-bound load).
 
+Observability adds the ``serving_timeline`` trial (``serving_slo`` with
+the flight recorder on: the same scalar payload plus a per-window
+time-series) and the ``utilization_timeline`` sweep/figure — the
+paged-vs-memory face-off rendered window by window, so *when* each
+policy wins is visible, not just that it does.  :func:`collect_timeline`
+re-runs any serving trial with a recording collector for
+``repro trace export``.
+
 The engine itself is benchmarked by the ``wallclock`` trial/sweep: the
-vectorized production engine and the scalar reference serve the same
-~100k-request trace under a stopwatch, and CI asserts the speedup floor
-the vectorized core was merged at.
+vectorized production engine (bare and with telemetry recording) and
+the scalar reference serve the same ~100k-request trace under a
+stopwatch, and CI asserts both the speedup floor the vectorized core
+was merged at and the telemetry overhead ceiling.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import inspect
 import pathlib
 import time
 
@@ -57,6 +67,7 @@ from repro.serving.engine import ServingEngine
 from repro.serving.metrics import SloSpec
 from repro.serving.routing import ROUTER_NAMES
 from repro.serving.schedulers import build_scheduler
+from repro.serving.telemetry import Timeline, TimelineCollector
 from repro.workloads.requests import Trace
 
 #: all five evaluated systems, in the paper's presentation order
@@ -135,6 +146,40 @@ def build_arrival_trace(
     raise KeyError(f"unknown arrival {arrival!r}; use poisson|gamma")
 
 
+def build_serving_engine(
+    system: str,
+    model: str = "Zamba2",
+    scale: str = "small",
+    scheduler: str = "fcfs",
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_gib: float | None = None,
+    chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
+) -> ServingEngine:
+    """One configured engine, exactly as the ``serving_slo`` trial builds it.
+
+    Shared by the trial, the ``serving_timeline`` trial, and the
+    ``repro trace export`` path, so an exported timeline always comes
+    from the same engine configuration the cached metrics did.
+    """
+    spec = spec_for(model, scale)
+    serving = build_system(SystemKind(system), scale)
+    policy = build_scheduler(
+        scheduler,
+        serving,
+        spec,
+        max_batch=max_batch,
+        step_stride=step_stride,
+        capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
+        chunk_budget=chunk_budget,
+        block_size=block_size,
+        preempt=preempt,
+    )
+    return ServingEngine(serving, spec, policy)
+
+
 @trial("serving_slo")
 def serving_slo(
     system: str,
@@ -173,24 +218,15 @@ def serving_slo(
     trial instead of serving the old file's metrics (a mismatch between
     the two raises instead of answering stale).
     """
-    spec = spec_for(model, scale)
-    serving = build_system(SystemKind(system), scale)
+    engine = build_serving_engine(
+        system, model, scale, scheduler, max_batch, step_stride,
+        capacity_gib, chunk_budget, block_size, preempt,
+    )
     trace = build_arrival_trace(
         qps, n_requests, seed, arrival, cv, length_dist,
         input_len, output_len, sigma, trace_file, trace_sha,
     )
-    policy = build_scheduler(
-        scheduler,
-        serving,
-        spec,
-        max_batch=max_batch,
-        step_stride=step_stride,
-        capacity_bytes=None if capacity_gib is None else capacity_gib * 2**30,
-        chunk_budget=chunk_budget,
-        block_size=block_size,
-        preempt=preempt,
-    )
-    report = ServingEngine(serving, spec, policy).run(trace)
+    report = engine.run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
 
 
@@ -607,6 +643,194 @@ def preemption_tradeoff_render(data: dict) -> tuple[list[str], list[list]]:
     return header, rows
 
 
+@trial("serving_timeline")
+def serving_timeline(
+    system: str,
+    qps: float,
+    model: str = "Zamba2",
+    scale: str = "small",
+    scheduler: str = "fcfs",
+    n_requests: int = 64,
+    seed: int = 0,
+    arrival: str = "poisson",
+    cv: float = 2.0,
+    length_dist: str = "fixed",
+    input_len: int = 1024,
+    output_len: int = 256,
+    sigma: float = 0.5,
+    max_batch: int = 32,
+    step_stride: int = 32,
+    capacity_gib: float | None = None,
+    chunk_budget: int = 256,
+    block_size: int = 64,
+    preempt: bool = True,
+    slo_ttft_s: float = 2.0,
+    slo_tpot_s: float = 0.018,
+    n_windows: int = 8,
+    trace_file: str | None = None,
+    trace_sha: str | None = None,
+) -> dict:
+    """:func:`serving_slo` with the flight recorder on: payload + windows.
+
+    Identical parameters build the identical engine and trace as
+    ``serving_slo`` (telemetry never changes the simulation — tested bit
+    for bit), so the scalar metrics match that trial's exactly; the extra
+    ``windows`` list is the run's per-window time-series
+    (:meth:`~repro.serving.telemetry.Timeline.windowed`): TTFT/TPOT
+    percentiles over the requests finishing in each window, engine
+    occupancy, sampled queue depth, preemption deltas, and per-window
+    goodput — what the ``utilization_timeline`` figure tabulates.
+    """
+    engine = build_serving_engine(
+        system, model, scale, scheduler, max_batch, step_stride,
+        capacity_gib, chunk_budget, block_size, preempt,
+    )
+    trace = build_arrival_trace(
+        qps, n_requests, seed, arrival, cv, length_dist,
+        input_len, output_len, sigma, trace_file, trace_sha,
+    )
+    collector = TimelineCollector()
+    slo = SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s)
+    report = engine.run(trace, collector=collector)
+    payload = report.to_payload(slo)
+    payload["n_windows"] = n_windows
+    payload["windows"] = collector.timeline.windowed(n_windows, slo)
+    return payload
+
+
+def _trial_defaults(fn) -> dict:
+    return {
+        name: p.default
+        for name, p in inspect.signature(fn).parameters.items()
+        if p.default is not inspect.Parameter.empty
+    }
+
+
+def collect_timeline(
+    trial_name: str = "serving_slo", **params
+) -> tuple[Timeline, SloSpec, dict]:
+    """Re-run one serving trial with the flight recorder attached.
+
+    Builds the same engine (or cluster) and trace that ``serving_slo`` /
+    ``cluster_slo`` would for ``params`` (missing keys take the trial's
+    own defaults; ``system``/``qps`` default to Pimba at 8 QPS), serves
+    it once with a :class:`~repro.serving.telemetry.TimelineCollector`,
+    and returns ``(timeline, slo, payload)``.  This is what backs
+    ``repro trace export``.
+    """
+    if trial_name == "serving_slo":
+        base = _trial_defaults(serving_slo)
+    elif trial_name == "cluster_slo":
+        base = _trial_defaults(cluster_slo)
+    else:
+        raise KeyError(
+            f"unknown trial {trial_name!r}; use serving_slo|cluster_slo"
+        )
+    base.setdefault("system", "Pimba")
+    base.setdefault("qps", 8.0)
+    unknown = sorted(set(params) - set(base))
+    if unknown:
+        raise KeyError(
+            f"unknown parameter(s) {unknown} for trial {trial_name!r}"
+        )
+    p = {**base, **params}
+    trace = build_arrival_trace(
+        p["qps"], p["n_requests"], p["seed"], p["arrival"], p["cv"],
+        p["length_dist"], p["input_len"], p["output_len"], p["sigma"],
+        p["trace_file"], p["trace_sha"],
+    )
+    slo = SloSpec(ttft_s=p["slo_ttft_s"], tpot_s=p["slo_tpot_s"])
+    collector = TimelineCollector()
+    if trial_name == "serving_slo":
+        engine = build_serving_engine(
+            p["system"], p["model"], p["scale"], p["scheduler"],
+            p["max_batch"], p["step_stride"], p["capacity_gib"],
+            p["chunk_budget"], p["block_size"], p["preempt"],
+        )
+        report = engine.run(trace, collector=collector)
+    else:
+        cluster = build_cluster(
+            build_system(SystemKind(p["system"]), p["scale"]),
+            spec_for(p["model"], p["scale"]),
+            n_replicas=p["replicas"],
+            router=p["router"],
+            scheduler=p["scheduler"],
+            max_batch=p["max_batch"],
+            step_stride=p["step_stride"],
+            capacity_bytes=(
+                None
+                if p["capacity_gib"] is None
+                else p["capacity_gib"] * 2**30
+            ),
+            chunk_budget=p["chunk_budget"],
+            block_size=p["block_size"],
+            preempt=p["preempt"],
+        )
+        report = cluster.run(trace, collector=collector)
+    return collector.timeline, slo, report.to_payload(slo)
+
+
+@sweep("utilization_timeline")
+def utilization_timeline_spec(smoke: bool = False) -> ExperimentSpec:
+    """Per-window utilization of the paged-vs-memory face-off.
+
+    The same tight-HBM load as ``preemption_tradeoff`` at its knee
+    (4 QPS), served with the flight recorder on: where the end-of-run
+    rows of that figure show paged reservation winning goodput *overall*,
+    the windows here show *when* — full-context admission stalls early
+    (occupancy holds but the queue builds and TTFT climbs window over
+    window) while paged admission keeps latency flat until the preemption
+    columns start paying for the packing.
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="utilization_timeline",
+            trial_fn="serving_timeline",
+            axes={"scheduler": ("memory", "paged")},
+            fixed={
+                **PAGED_LOAD,
+                "qps": 4.0,
+                "n_requests": 16,
+                "n_windows": 4,
+            },
+        )
+    return ExperimentSpec(
+        name="utilization_timeline",
+        trial_fn="serving_timeline",
+        axes={"scheduler": ("memory", "paged")},
+        fixed={**PAGED_LOAD, "qps": 4.0, "n_windows": 8},
+    )
+
+
+def utilization_timeline_assemble(report: RunReport) -> dict:
+    """Reshape to ``{scheduler: trial payload}`` (one cell per policy)."""
+    return report.mapping("scheduler")
+
+
+def utilization_timeline_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "policy", "window", "t0 (s)", "t1 (s)", "finished",
+        "ttft p99 (s)", "occupancy", "queue depth", "preemptions",
+        "goodput (req/s)",
+    ]
+    rows = []
+    for scheduler, payload in data.items():
+        for w in payload["windows"]:
+            rows.append([
+                scheduler,
+                w["window"],
+                w["t0_s"],
+                w["t1_s"],
+                w["n_finished"],
+                w["ttft_p99_s"],
+                w["occupancy"],
+                w["mean_queue_depth"],
+                w["preemptions"],
+                w.get("goodput_rps"),
+            ])
+    return header, rows
+
+
 #: load profile of the wall-clock benchmark: ~100k requests arriving fast
 #: enough to keep the decode batch full, fixed lengths so the simulated
 #: outcome (and therefore the simulation *work*) is identical run to run
@@ -643,9 +867,13 @@ def wallclock(
     ``engine`` selects the implementation under test: ``"slot"`` is the
     production :class:`~repro.serving.engine.ServingEngine` (slot-array
     coalesced hot path, streaming stats), ``"reference"`` the scalar
-    :class:`~repro.serving._reference.ReferenceEngine` specification.
-    Both serve the *identical* trace, so the ratio of their ``wall_s`` is
-    the hot path's speedup — what CI's ``perf-wallclock`` job asserts.
+    :class:`~repro.serving._reference.ReferenceEngine` specification, and
+    ``"slot+telemetry"`` the production engine with a recording
+    :class:`~repro.serving.telemetry.TimelineCollector` attached.
+    All serve the *identical* trace, so the ratio of their ``wall_s`` is
+    the hot path's speedup — what CI's ``perf-wallclock`` job asserts,
+    along with the telemetry overhead ceiling
+    (``slot+telemetry`` ≤ 1.15 × ``slot``).
     Only the serve call is timed; trace construction and report
     aggregation happen outside the stopwatch.  Never cache this trial's
     results (``repro sweep wallclock --no-cache``): a timing replayed
@@ -664,6 +892,12 @@ def wallclock(
         t0 = time.perf_counter()
         stats = impl.serve_stats(trace)
         wall_s = time.perf_counter() - t0
+    elif engine == "slot+telemetry":
+        impl = ServingEngine(serving, spec, policy)
+        collector = TimelineCollector()
+        t0 = time.perf_counter()
+        stats = impl.serve_stats(trace, collector=collector)
+        wall_s = time.perf_counter() - t0
     elif engine == "reference":
         ref = ReferenceEngine(serving, spec, policy)
         t0 = time.perf_counter()
@@ -671,7 +905,10 @@ def wallclock(
         wall_s = time.perf_counter() - t0
         stats = run.stats()
     else:
-        raise KeyError(f"unknown engine {engine!r}; use slot|reference")
+        raise KeyError(
+            f"unknown engine {engine!r}; "
+            "use slot|slot+telemetry|reference"
+        )
     report = stats.report()
     return {
         "engine": engine,
@@ -693,23 +930,25 @@ def wallclock(
 def wallclock_spec(smoke: bool = False) -> ExperimentSpec:
     """Wall-clock benchmark: production engine vs scalar reference.
 
-    Two rows — ``engine=reference`` then ``engine=slot`` — over the same
-    ~100k-request trace.  CI runs this serially and uncached
-    (``repro sweep wallclock --serial --no-cache``) and fails the build
-    if ``reference.wall_s / slot.wall_s`` drops below the floor the
-    vectorized core was merged at (5x).
+    Three rows — ``engine=reference``, ``engine=slot``, and
+    ``engine=slot+telemetry`` — over the same ~100k-request trace.  CI
+    runs this serially and uncached (``repro sweep wallclock --serial
+    --no-cache``) and fails the build if ``reference.wall_s /
+    slot.wall_s`` drops below the floor the vectorized core was merged
+    at (5x), or if the recording collector costs more than 15% over the
+    bare engine (``slot+telemetry.wall_s / slot.wall_s`` > 1.15).
     """
     if smoke:
         return ExperimentSpec(
             name="wallclock",
             trial_fn="wallclock",
-            axes={"engine": ("reference", "slot")},
+            axes={"engine": ("reference", "slot", "slot+telemetry")},
             fixed={**WALLCLOCK_LOAD, "n_requests": 2000},
         )
     return ExperimentSpec(
         name="wallclock",
         trial_fn="wallclock",
-        axes={"engine": ("reference", "slot")},
+        axes={"engine": ("reference", "slot", "slot+telemetry")},
         fixed=WALLCLOCK_LOAD,
     )
 

@@ -28,6 +28,7 @@ the median for the default K = 4096, tighter in the tails.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import random
 from collections.abc import Iterable, Sequence
 
@@ -38,6 +39,10 @@ DEFAULT_SKETCH_CAPACITY = 4096
 
 #: fixed reservoir seed — identical streams always keep identical samples
 _SKETCH_SEED = 0x51CE7C
+
+#: fixed seed of the queue-depth segment reservoir (distinct from the
+#: latency reservoir's, so the two sample streams stay independent)
+_DEPTH_SEED = 0xDEE75C
 
 
 @dataclasses.dataclass(frozen=True)
@@ -253,6 +258,125 @@ class RequestStats:
         return f"RequestStats(n={self.count}, {kind})"
 
 
+class DepthSketch:
+    """Weighted reservoir over time-at-depth segments (O(1) memory).
+
+    The engine's waiting-queue depth is a piecewise-constant function of
+    the simulated clock.  Each *segment* — a depth held for some span of
+    simulated seconds — is one weighted observation: ``observe(depth,
+    seconds)``.  The sketch keeps at most ``capacity`` segments using the
+    A-ES weighted reservoir rule (each segment draws the key
+    ``u ** (1 / weight)`` from a seeded RNG and the largest keys
+    survive), so a segment's survival probability is proportional to the
+    *time* the queue actually spent at that depth — which makes
+    :meth:`percentile` a time-weighted depth percentile, the p50/p99
+    companions to the exact ``mean_queue_depth`` integral.
+
+    Segments flush only when the depth *changes* (the engine coalesces
+    constant-depth stretches), so the RNG cost is O(queue mutations),
+    not O(iterations) — the vectorized hot path never pays per step.
+    While the stream fits the reservoir the kept segments are the whole
+    population and the percentiles are exact.
+
+    Equality ignores heap layout and RNG state: two sketches are equal
+    when their counters match and their kept segment *multisets* match
+    (like :class:`RequestStats`, so the bit-exactness tests can compare
+    engine records containing sketches).  :meth:`merge` is deterministic
+    — pooled segments keep the globally largest keys — so cluster merges
+    are order-insensitive.
+    """
+
+    __slots__ = ("capacity", "count", "total_weight", "_items", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_SKETCH_CAPACITY):
+        if capacity < 1:
+            raise ValueError("sketch capacity must be positive")
+        self.capacity = capacity
+        self.count = 0  #: segments observed (the whole stream)
+        self.total_weight = 0.0  #: total simulated seconds observed
+        #: min-heap of (key, depth, weight); the smallest key is evicted
+        self._items: list[tuple[float, int, float]] = []
+        self._rng = random.Random(_DEPTH_SEED)
+
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds every observed segment."""
+        return self.count <= self.capacity
+
+    def observe(self, depth: int, weight: float) -> None:
+        """One constant-depth segment: ``depth`` held for ``weight`` s."""
+        if weight <= 0.0:
+            return
+        self.count += 1
+        self.total_weight += weight
+        key = self._rng.random() ** (1.0 / weight)
+        if len(self._items) < self.capacity:
+            heapq.heappush(self._items, (key, depth, weight))
+        elif key > self._items[0][0]:
+            heapq.heapreplace(self._items, (key, depth, weight))
+
+    def percentile(self, p: float) -> float:
+        """Time-weighted depth percentile (NaN on an empty sketch)."""
+        if not self._items:
+            return float("nan")
+        segments = sorted((depth, weight) for _, depth, weight in self._items)
+        kept = sum(weight for _, weight in segments)
+        target = kept * min(max(p, 0.0), 100.0) / 100.0
+        cumulative = 0.0
+        for depth, weight in segments:
+            cumulative += weight
+            if cumulative >= target:
+                return float(depth)
+        return float(segments[-1][0])
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Sequence["DepthSketch"],
+        capacity: int | None = None,
+    ) -> "DepthSketch":
+        """Fold several sketches (e.g. cluster replicas) into one.
+
+        Deterministic and order-insensitive: every part's kept segments
+        pool together and the ``capacity`` largest keys survive — the
+        same rule a single reservoir over the concatenated stream would
+        apply, so merging is exact while the pooled segments fit.
+        """
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            raise ValueError("cannot merge zero depth sketches")
+        if len(parts) == 1:
+            return parts[0]
+        if capacity is None:
+            capacity = max(p.capacity for p in parts)
+        merged = cls(capacity)
+        merged.count = sum(p.count for p in parts)
+        merged.total_weight = sum(p.total_weight for p in parts)
+        pooled = sorted(item for p in parts for item in p._items)
+        merged._items = pooled[-capacity:]
+        heapq.heapify(merged._items)
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DepthSketch):
+            return NotImplemented
+        return (
+            self.capacity,
+            self.count,
+            self.total_weight,
+            sorted(self._items),
+        ) == (
+            other.capacity,
+            other.count,
+            other.total_weight,
+            sorted(other._items),
+        )
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else f"sampled({len(self._items)})"
+        return f"DepthSketch(n={self.count}, {kind})"
+
+
 @dataclasses.dataclass(frozen=True)
 class ServingReport:
     """Aggregate view of one trace served on one system.
@@ -273,6 +397,9 @@ class ServingReport:
     #: paged evictions (each pays a re-prefill); keyword-only so that
     #: subclasses (ClusterReport) can keep required positional fields
     n_preemptions: int = dataclasses.field(default=0, kw_only=True)
+    #: time-weighted queue-depth sketch (p50/p99 companions to the exact
+    #: mean/max); optional so hand-built reports stay valid without one
+    depth: DepthSketch | None = dataclasses.field(default=None, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.stats.n and self.makespan_s <= 0:
@@ -292,6 +419,7 @@ class ServingReport:
         *,
         n_preemptions: int = 0,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+        depth: DepthSketch | None = None,
     ) -> "ServingReport":
         """Build a report by streaming ``timings`` through the accumulator."""
         stats = RequestStats(sketch_capacity)
@@ -305,6 +433,7 @@ class ServingReport:
             n_iterations=n_iterations,
             n_prefills=n_prefills,
             n_preemptions=n_preemptions,
+            depth=depth,
         )
 
     @property
@@ -337,6 +466,12 @@ class ServingReport:
 
     def e2e_percentile(self, p: float) -> float:
         return self.stats.e2e_percentile(p)
+
+    def queue_depth_percentile(self, p: float) -> float:
+        """Time-weighted depth percentile (NaN without a depth sketch)."""
+        if self.depth is None:
+            return float("nan")
+        return self.depth.percentile(p)
 
     # -- SLO-conditioned metrics ----------------------------------------------
 
@@ -372,6 +507,12 @@ class ServingReport:
             "n_prefills": self.n_prefills,
             "n_preemptions": self.n_preemptions,
         }
+        if self.depth is not None:
+            # Conditional: hand-built reports without a sketch keep their
+            # historical payload keys (and NaN would not survive a JSON
+            # round-trip anyway).
+            payload["queue_depth_p50"] = self.queue_depth_percentile(50)
+            payload["queue_depth_p99"] = self.queue_depth_percentile(99)
         if slo is not None:
             payload["slo_ttft_s"] = slo.ttft_s
             payload["slo_tpot_s"] = slo.tpot_s
@@ -398,6 +539,7 @@ class EngineStats:
     n_iterations: int
     n_prefills: int
     preemptions: int = 0
+    depth: DepthSketch | None = None
 
     @property
     def makespan_s(self) -> float:
@@ -412,6 +554,7 @@ class EngineStats:
             n_iterations=self.n_iterations,
             n_prefills=self.n_prefills,
             n_preemptions=self.preemptions,
+            depth=self.depth,
         )
 
     @classmethod
@@ -431,6 +574,7 @@ class EngineStats:
         end = max(p.end_s for p in parts)
         span = max(end - start, 1e-12)
         depth_area = sum(p.mean_queue_depth * p.makespan_s for p in parts)
+        depths = [p.depth for p in parts if p.depth is not None]
         return cls(
             requests=RequestStats.merge(
                 (p.requests for p in parts), capacity
@@ -442,4 +586,5 @@ class EngineStats:
             n_iterations=sum(p.n_iterations for p in parts),
             n_prefills=sum(p.n_prefills for p in parts),
             preemptions=sum(p.preemptions for p in parts),
+            depth=DepthSketch.merge(depths, capacity) if depths else None,
         )

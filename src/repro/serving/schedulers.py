@@ -207,6 +207,16 @@ class Scheduler(abc.ABC):
     def release(self, request: RunningRequest) -> None:
         """A resident request completed — return its reservation."""
 
+    @property
+    def blocks_in_use(self) -> int:
+        """KV blocks currently claimed (0 for non-paged policies).
+
+        Read by the telemetry gauge stream; policies without a
+        :class:`~repro.serving.memory.BlockPool` report zero so the
+        counter track renders flat rather than missing.
+        """
+        return 0
+
     def iteration_shape(
         self, running: Sequence[RunningRequest]
     ) -> tuple[int, int]:
@@ -617,6 +627,10 @@ class PagedScheduler(Scheduler):
 
     def release(self, request: RunningRequest) -> None:
         self.pool.release(request.timed.request_id)
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.pool.blocks_in_use
 
 
 class OverlapScheduler(ChunkedPrefillScheduler):

@@ -19,6 +19,7 @@ import pytest
 
 from repro.serving.metrics import (
     DEFAULT_SKETCH_CAPACITY,
+    DepthSketch,
     RequestStats,
     RequestTiming,
     SloSpec,
@@ -150,3 +151,111 @@ class TestMerge:
         part = observe_all(stream(50), 256)
         merged = RequestStats.merge([part])
         assert merged == part
+
+
+def depth_stream(n, seed=11):
+    """Seeded (depth, seconds) segments like an engine's queue produces."""
+    rng = random.Random(seed)
+    return [
+        (rng.randint(0, 12), rng.uniform(0.001, 0.5)) for _ in range(n)
+    ]
+
+
+def observe_depths(segments, capacity):
+    sketch = DepthSketch(capacity)
+    for depth, weight in segments:
+        sketch.observe(depth, weight)
+    return sketch
+
+
+def exact_weighted_percentile(segments, p):
+    """Reference: smallest depth whose cumulative weight covers p%."""
+    ordered = sorted(segments)
+    target = sum(w for _, w in segments) * p / 100.0
+    cumulative = 0.0
+    for depth, weight in ordered:
+        cumulative += weight
+        if cumulative >= target:
+            return float(depth)
+    return float(ordered[-1][0])
+
+
+class TestDepthSketch:
+    """The time-at-depth companion reservoir (queue_depth_p50/p99)."""
+
+    def test_exact_weighted_percentiles_below_capacity(self):
+        segments = [(0, 5.0), (1, 1.0), (2, 1.0), (4, 3.0)]
+        sketch = observe_depths(segments, capacity=16)
+        assert sketch.exact
+        assert sketch.percentile(50) == 0.0  # depth 0 held half the time
+        assert sketch.percentile(60) == 1.0
+        assert sketch.percentile(90) == 4.0
+        assert sketch.percentile(100) == 4.0
+        for p in (0, 10, 37, 50, 75, 99, 100):
+            assert sketch.percentile(p) == exact_weighted_percentile(
+                segments, p
+            )
+
+    def test_empty_sketch_is_nan(self):
+        assert math.isnan(DepthSketch(8).percentile(50))
+
+    def test_zero_and_negative_weights_are_ignored(self):
+        sketch = DepthSketch(8)
+        sketch.observe(3, 0.0)
+        sketch.observe(7, -1.0)
+        assert sketch.count == 0
+        assert sketch.total_weight == 0.0
+        sketch.observe(2, 1.0)
+        assert sketch.percentile(99) == 2.0
+
+    def test_memory_is_capacity_bound(self):
+        sketch = observe_depths(depth_stream(50_000), capacity=128)
+        assert not sketch.exact
+        assert len(sketch._items) == 128
+        assert sketch.count == 50_000
+
+    def test_sampled_percentile_tracks_the_population(self):
+        """Survival is weight-proportional, so a dominant-depth stream's
+        median must be that depth even far above capacity."""
+        rng = random.Random(5)
+        segments = [(2, rng.uniform(0.5, 1.5)) for _ in range(5_000)]
+        segments += [(9, rng.uniform(0.001, 0.01)) for _ in range(5_000)]
+        rng.shuffle(segments)
+        sketch = observe_depths(segments, capacity=256)
+        assert sketch.percentile(50) == 2.0
+
+    def test_identical_streams_give_equal_sketches(self):
+        a = observe_depths(depth_stream(10_000), capacity=128)
+        b = observe_depths(depth_stream(10_000), capacity=128)
+        assert a == b
+        assert a.percentile(99) == b.percentile(99)
+
+    def test_merge_is_deterministic_and_order_insensitive(self):
+        parts = [
+            observe_depths(depth_stream(500, seed=s), 128) for s in (1, 2, 3)
+        ]
+        forward = DepthSketch.merge(parts)
+        backward = DepthSketch.merge(list(reversed(parts)))
+        assert forward == backward
+        assert forward.count == 1500
+        assert forward.total_weight == pytest.approx(
+            sum(p.total_weight for p in parts)
+        )
+
+    def test_merge_is_exact_while_pooled_segments_fit(self):
+        streams = [depth_stream(40, seed=s) for s in (4, 5)]
+        parts = [observe_depths(s, 128) for s in streams]
+        merged = DepthSketch.merge(parts, capacity=128)
+        every = [seg for s in streams for seg in s]
+        for p in (25, 50, 99):
+            assert merged.percentile(p) == exact_weighted_percentile(every, p)
+
+    def test_merge_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            DepthSketch.merge([])
+        with pytest.raises(ValueError):
+            DepthSketch.merge([None])
+
+    def test_single_part_merge_is_identity(self):
+        part = observe_depths(depth_stream(100), 128)
+        assert DepthSketch.merge([part, None]) is part
