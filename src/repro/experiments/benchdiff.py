@@ -49,6 +49,9 @@ METRIC_DIRECTIONS: dict[str, bool] = {
     "e2e_p99_s": False,
     "queue_depth_p50": False,
     "queue_depth_p99": False,
+    # prefix-cache reuse: hit rate must not shrink (a later PR that
+    # quietly breaks reuse turns the gate red, not just a dashboard)
+    "prefix_cache_hit_rate": True,
     # batch-level throughput trials
     "tokens_per_second": True,
     "generation_throughput": True,

@@ -123,6 +123,16 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.preemption_tradeoff_assemble,
         render=serving_experiments.preemption_tradeoff_render,
     ),
+    "prefix_reuse": Figure(
+        name="prefix_reuse",
+        title=(
+            "Prefix reuse: goodput and TTFT of the radix cache vs "
+            "paged-without-reuse over multi-turn chat (per session rate)"
+        ),
+        spec=serving_experiments.prefix_cache_spec,
+        assemble=serving_experiments.prefix_reuse_assemble,
+        render=serving_experiments.prefix_reuse_render,
+    ),
     "utilization_timeline": Figure(
         name="utilization_timeline",
         title=(

@@ -32,6 +32,7 @@ from repro.serving.arrivals import (
     gamma_trace,
     load_trace,
     lognormal_lengths,
+    multiturn_chat_trace,
     poisson_trace,
     save_trace,
     static_trace,
@@ -46,7 +47,13 @@ from repro.serving.cluster import (
 from repro.serving._reference import ReferenceEngine
 from repro.serving.costs import IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
-from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
+from repro.serving.memory import (
+    BlockPool,
+    MemoryModel,
+    PrefixBlockPool,
+    PrefixCache,
+    validate_capacity,
+)
 from repro.serving.routing import (
     ROUTER_NAMES,
     AffinityRouter,
@@ -82,6 +89,7 @@ from repro.serving.schedulers import (
     MemoryAwareScheduler,
     OverlapScheduler,
     PagedScheduler,
+    PrefixCachingScheduler,
     RunningRequest,
     Scheduler,
     StaticBatchScheduler,
@@ -95,6 +103,7 @@ __all__ = [
     "gamma_trace",
     "load_trace",
     "lognormal_lengths",
+    "multiturn_chat_trace",
     "poisson_trace",
     "save_trace",
     "static_trace",
@@ -137,6 +146,9 @@ __all__ = [
     "MemoryModel",
     "OverlapScheduler",
     "PagedScheduler",
+    "PrefixBlockPool",
+    "PrefixCache",
+    "PrefixCachingScheduler",
     "RunningRequest",
     "Scheduler",
     "StaticBatchScheduler",

@@ -142,12 +142,22 @@ class ReferenceEngine:
                     )
                     running.insert(at, head)
                     # Recompute-style restore: re-prefill the prompt plus
-                    # every token generated before the eviction.
+                    # every token generated before the eviction.  A prefix
+                    # cache may cover a leading run of those tokens
+                    # (on_restore just re-acquired the session's blocks);
+                    # only the uncached suffix is computed and priced —
+                    # chunk costs telescope, so the split is exact.
                     context = head.input_len + head.generated
-                    dt = self.cost.prefill_seconds(1, context)
+                    cached = head.cache_hit_last
+                    if cached:
+                        dt = self.cost.chunk_prefill_seconds(
+                            1, cached, context
+                        )
+                    else:
+                        dt = self.cost.prefill_seconds(1, context)
                     advance(dt)
                     prefills.append(dt)
-                    prefill_tokens.append(context)
+                    prefill_tokens.append(context - cached)
                     continue
                 admitted_n = 0
             else:
@@ -171,10 +181,22 @@ class ReferenceEngine:
                 running.extend(members)
                 self.scheduler.on_admit(members)
                 if budget is None:
-                    dt = self.cost.prefill_seconds(len(admitted), cohort_input)
+                    # Padded-cohort pricing reuses only what *every*
+                    # member has cached: the cohort runs as one fused
+                    # prefill of length cohort_input, so the min hit is
+                    # the longest prefix the whole batch can skip.
+                    cached = min(m.cache_hit_last for m in members)
+                    if cached:
+                        dt = self.cost.chunk_prefill_seconds(
+                            len(admitted), cached, cohort_input
+                        )
+                    else:
+                        dt = self.cost.prefill_seconds(
+                            len(admitted), cohort_input
+                        )
                     advance(dt)
                     prefills.append(dt)
-                    prefill_tokens.append(cohort_input)
+                    prefill_tokens.append(cohort_input - cached)
                 else:
                     # Chunking: no clock movement at admission — the
                     # prompt is streamed by the chunk iterations below.
@@ -274,6 +296,7 @@ class ReferenceEngine:
                 first_token_s=r.first_token_s,
                 finished_s=r.finished_s,
                 preemptions=r.preemptions,
+                cached_tokens=r.cached_tokens,
             )
             for r in sorted(finished, key=lambda r: r.timed.request_id)
         )
@@ -289,6 +312,9 @@ class ReferenceEngine:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max_depth,
             preemptions=preemptions,
+            cache_hit_tokens=self.scheduler.cache_hit_tokens,
+            cache_miss_tokens=self.scheduler.cache_miss_tokens,
+            cache_evictions=self.scheduler.cache_evictions,
             depth=depth_sketch,
         )
 

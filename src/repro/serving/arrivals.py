@@ -7,6 +7,9 @@ module builds :class:`~repro.workloads.requests.Trace` objects from
 * **Poisson** arrivals (exponential gaps — the memoryless baseline),
 * **Gamma** arrivals with a coefficient of variation (``cv > 1`` models
   bursty traffic, ``cv = 1`` degenerates to Poisson),
+* **multi-turn chat** sessions (:func:`multiturn_chat_trace`): Poisson
+  session arrivals whose turns re-send the growing conversation as the
+  prompt — the shared-prefix workload a prefix cache exists for,
 * length samplers: fixed (the paper's evaluation shape), lognormal
   (the long-tailed shape of real chat traces), or empirical pairs,
 
@@ -131,6 +134,59 @@ def gamma_trace(
 def static_trace(batch: Batch) -> Trace:
     """All requests of ``batch`` arrive at t=0 (static-batching parity)."""
     return Trace.from_batch(batch)
+
+
+def multiturn_chat_trace(
+    session_qps: float,
+    n_sessions: int,
+    turns: int = 4,
+    *,
+    first_input: int = 128,
+    user_tokens: int = 32,
+    output_len: int = 48,
+    think_s: float = 4.0,
+    seed: int = 0,
+) -> Trace:
+    """Multi-turn chat sessions whose turns share a growing token prefix.
+
+    Sessions open as a Poisson process at ``session_qps``.  Each session
+    runs ``turns`` turns: turn 0 sends ``first_input`` prompt tokens, and
+    every later turn re-sends the whole conversation so far — previous
+    prompt, the model's answer, plus fresh user tokens (uniform in
+    ``[1, 2 * user_tokens)``) — as its prompt.  Answer lengths are uniform
+    in ``[ceil(output_len / 2), 2 * output_len)``.  Turns within a session
+    are separated by exponential think-time gaps with mean ``think_s``.
+
+    Every turn of session ``s`` carries ``session_id=s``, so a
+    prefix-caching scheduler can reuse the blocks of turn ``j`` when turn
+    ``j + 1`` arrives.  Requests are re-numbered 0..n-1 in arrival order
+    (arrivals interleave across sessions).
+    """
+    if session_qps <= 0 or n_sessions < 1 or turns < 1:
+        raise ValueError("session_qps, n_sessions and turns must be positive")
+    if first_input < 1 or user_tokens < 1 or output_len < 1 or think_s <= 0:
+        raise ValueError("token counts and think_s must be positive")
+    rng = np.random.default_rng(seed)
+    openings = np.cumsum(rng.exponential(1.0 / session_qps, size=n_sessions))
+    rows: list[tuple[float, int, int, int]] = []
+    for session, opening in enumerate(openings):
+        arrival = float(opening)
+        history = 0
+        for turn in range(turns):
+            fresh = (
+                first_input if turn == 0
+                else int(rng.integers(1, 2 * user_tokens))
+            )
+            inp = history + fresh
+            out = int(rng.integers((output_len + 1) // 2, 2 * output_len))
+            rows.append((arrival, session, inp, out))
+            history = inp + out
+            arrival += float(rng.exponential(think_s))
+    rows.sort(key=lambda row: row[0])
+    return Trace(tuple(
+        TimedRequest(Request(i, inp, out, session_id=session), arrival)
+        for i, (arrival, session, inp, out) in enumerate(rows)
+    ))
 
 
 # ---------------------------------------------------------------------------

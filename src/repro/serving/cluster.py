@@ -170,6 +170,9 @@ class ClusterTrace:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max(t.max_queue_depth for t in active),
             preemptions=sum(t.preemptions for t in active),
+            cache_hit_tokens=sum(t.cache_hit_tokens for t in active),
+            cache_miss_tokens=sum(t.cache_miss_tokens for t in active),
+            cache_evictions=sum(t.cache_evictions for t in active),
             depth=DepthSketch.merge(depths) if depths else None,
         )
 

@@ -9,6 +9,11 @@ the repo's own ``save_trace`` schema):
   (gamma gaps, cv 4) with long-tailed lognormal prompt/answer lengths.
 * ``steady`` — Azure-LLM-inference-style API traffic: near-Poisson
   arrivals at a steady rate with tightly concentrated lengths.
+* ``multiturn`` — multi-turn chat sessions
+  (:func:`~repro.serving.arrivals.multiturn_chat_trace`): each session's
+  turns re-send the growing conversation as the prompt and carry a
+  ``session_id``, so the file exercises the prefix cache's shared-prefix
+  reuse path (the sessionless files never do).
 
 :func:`trace_path` resolves a corpus name to its file, and the
 ``trace-replay`` sweep serves every shipped trace on every system through
@@ -26,6 +31,7 @@ from repro.experiments.spec import ExperimentSpec
 #: corpus name -> file name under ``traces/``
 SHIPPED_TRACES = {
     "bursty": "bursty_chat.json",
+    "multiturn": "multiturn_chat.json",
     "steady": "steady_api.json",
 }
 

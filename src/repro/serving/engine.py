@@ -101,6 +101,10 @@ class EngineTrace:
     mean_queue_depth: float
     max_queue_depth: int
     preemptions: int = 0  #: paged evictions (each implies one restore)
+    #: prefix-cache counters (all zero for schedulers without a cache)
+    cache_hit_tokens: int = 0
+    cache_miss_tokens: int = 0
+    cache_evictions: int = 0
     #: time-weighted queue-depth sketch (p50/p99); optional so that
     #: hand-built traces in tests stay valid without one
     depth: DepthSketch | None = None
@@ -126,6 +130,9 @@ class EngineTrace:
             n_prefills=len(self.prefill_seconds),
             preemptions=self.preemptions,
             depth=self.depth,
+            cache_hit_tokens=self.cache_hit_tokens,
+            cache_miss_tokens=self.cache_miss_tokens,
+            cache_evictions=self.cache_evictions,
         )
 
     def report(self) -> ServingReport:
@@ -213,6 +220,7 @@ class _StatsRecorder:
                 first_token_s=request.first_token_s,
                 finished_s=request.finished_s,
                 preemptions=request.preemptions,
+                cached_tokens=request.cached_tokens,
             )
         )
 
@@ -277,6 +285,7 @@ class ServingEngine:
                 first_token_s=r.first_token_s,
                 finished_s=r.finished_s,
                 preemptions=r.preemptions,
+                cached_tokens=r.cached_tokens,
             )
             for r in sorted(
                 recorder.finished, key=lambda r: r.timed.request_id
@@ -294,6 +303,9 @@ class ServingEngine:
             mean_queue_depth=depth_area / span,
             max_queue_depth=max_depth,
             preemptions=preemptions,
+            cache_hit_tokens=self.scheduler.cache_hit_tokens,
+            cache_miss_tokens=self.scheduler.cache_miss_tokens,
+            cache_evictions=self.scheduler.cache_evictions,
             depth=depth,
         )
 
@@ -328,6 +340,9 @@ class ServingEngine:
             n_prefills=recorder.n_prefills,
             preemptions=preemptions,
             depth=depth,
+            cache_hit_tokens=self.scheduler.cache_hit_tokens,
+            cache_miss_tokens=self.scheduler.cache_miss_tokens,
+            cache_evictions=self.scheduler.cache_evictions,
         )
 
     def run(
@@ -430,17 +445,32 @@ class ServingEngine:
                     )
                     running.insert(at, head)
                     # Recompute-style restore: re-prefill the prompt plus
-                    # every token generated before the eviction.
+                    # every token generated before the eviction.  A prefix
+                    # cache may cover a leading run of those tokens
+                    # (on_restore just re-acquired the session's blocks);
+                    # only the uncached suffix is computed and priced —
+                    # chunk costs telescope, so the split is exact.
                     context = head.input_len + head.generated
-                    dt = self.cost.prefill_seconds(1, context)
+                    cached = head.cache_hit_last
+                    if cached:
+                        dt = self.cost.chunk_prefill_seconds(
+                            1, cached, context
+                        )
+                    else:
+                        dt = self.cost.prefill_seconds(1, context)
                     t0 = clock
                     advance(dt)
-                    rec.prefill(dt, context)
+                    rec.prefill(dt, context - cached)
                     if tel:
-                        col.prefill_span(t0, clock, context, (head,), "restore")
+                        col.prefill_span(
+                            t0, clock, context - cached, (head,), "restore"
+                        )
                         col.gauge(
                             clock, len(queue), len(running),
                             self.scheduler.blocks_in_use, preemptions,
+                            self.scheduler.cache_hit_tokens,
+                            self.scheduler.cache_miss_tokens,
+                            self.scheduler.cache_evictions,
                         )
                     continue
                 admitted_n = 0
@@ -465,12 +495,25 @@ class ServingEngine:
                 running.extend(members)
                 self.scheduler.on_admit(members)
                 if budget is None:
-                    dt = self.cost.prefill_seconds(len(admitted), cohort_input)
+                    # Padded-cohort pricing reuses only what *every*
+                    # member has cached: the cohort runs as one fused
+                    # prefill of length cohort_input, so the min hit is
+                    # the longest prefix the whole batch can skip.
+                    cached = min(m.cache_hit_last for m in members)
+                    if cached:
+                        dt = self.cost.chunk_prefill_seconds(
+                            len(admitted), cached, cohort_input
+                        )
+                    else:
+                        dt = self.cost.prefill_seconds(
+                            len(admitted), cohort_input
+                        )
                     advance(dt)
-                    rec.prefill(dt, cohort_input)
+                    rec.prefill(dt, cohort_input - cached)
                     if tel:
                         col.prefill_span(
-                            admitted_s, clock, cohort_input, members, "prefill"
+                            admitted_s, clock, cohort_input - cached,
+                            members, "prefill",
                         )
                 else:
                     # Chunking: no clock movement at admission — the
@@ -480,6 +523,9 @@ class ServingEngine:
                     col.gauge(
                         clock, len(queue), len(running),
                         self.scheduler.blocks_in_use, preemptions,
+                        self.scheduler.cache_hit_tokens,
+                        self.scheduler.cache_miss_tokens,
+                        self.scheduler.cache_evictions,
                     )
                 continue
 
@@ -529,6 +575,9 @@ class ServingEngine:
                     col.gauge(
                         clock, len(queue), len(running),
                         self.scheduler.blocks_in_use, preemptions,
+                        self.scheduler.cache_hit_tokens,
+                        self.scheduler.cache_miss_tokens,
+                        self.scheduler.cache_evictions,
                     )
                 continue
 
@@ -604,6 +653,9 @@ class ServingEngine:
                     col.gauge(
                         clock, len(queue), len(running),
                         self.scheduler.blocks_in_use, preemptions,
+                        self.scheduler.cache_hit_tokens,
+                        self.scheduler.cache_miss_tokens,
+                        self.scheduler.cache_evictions,
                     )
                 continue
 
@@ -630,6 +682,9 @@ class ServingEngine:
                             col.gauge(
                                 clock, len(queue), 0,
                                 self.scheduler.blocks_in_use, preemptions,
+                                self.scheduler.cache_hit_tokens,
+                                self.scheduler.cache_miss_tokens,
+                                self.scheduler.cache_evictions,
                             )
                         continue
                 batch, seq = self.scheduler.iteration_shape(running)
@@ -649,6 +704,9 @@ class ServingEngine:
                     col.gauge(
                         clock, len(queue), len(running),
                         self.scheduler.blocks_in_use, preemptions,
+                        self.scheduler.cache_hit_tokens,
+                        self.scheduler.cache_miss_tokens,
+                        self.scheduler.cache_evictions,
                     )
                 continue
 
@@ -658,6 +716,9 @@ class ServingEngine:
                     col.gauge(
                         clock, len(queue), len(running),
                         self.scheduler.blocks_in_use, preemptions,
+                        self.scheduler.cache_hit_tokens,
+                        self.scheduler.cache_miss_tokens,
+                        self.scheduler.cache_evictions,
                     )
                 continue
 

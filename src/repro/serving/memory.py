@@ -70,6 +70,17 @@ class MemoryModel:
             self.spec
         ) + self.system.kv_bytes_per_request(self.spec, kv_tokens)
 
+    def kv_bytes(self, kv_tokens: int) -> float:
+        """KV-only bytes of ``kv_tokens`` tokens (no per-request state).
+
+        What a cached prefix block costs: the KV it holds and nothing
+        else — the context-invariant request state belongs to whichever
+        *request* computes on those tokens, never to the cache entry.
+        """
+        if kv_tokens < 0:
+            raise ValueError(f"kv_tokens must be non-negative, got {kv_tokens}")
+        return self.system.kv_bytes_per_request(self.spec, kv_tokens)
+
     def request_bytes(self, input_len: int, output_len: int) -> float:
         """Cluster-wide bytes one request holds resident at full context.
 
@@ -112,6 +123,10 @@ class _Holding:
     blocks: int  #: whole KV blocks held (the tail one may be trimmed)
     kv_tokens: int  #: KV tokens actually charged (<= blocks * block_size)
     reserved: float  #: memoized ``reserved_bytes(kv_tokens)`` of this holding
+    #: leading prefix tokens served from shared cache blocks instead of
+    #: private ones (0 for every non-sharing holding — the arithmetic
+    #: below then reduces to the plain paged path, bit for bit)
+    shared_tokens: int = 0
 
 
 class BlockPool:
@@ -202,20 +217,31 @@ class BlockPool:
 
     # -- mutation -----------------------------------------------------------
 
-    def allocate(self, request_id: int, context: int, final_context: int) -> None:
+    def allocate(
+        self,
+        request_id: int,
+        context: int,
+        final_context: int,
+        shared_tokens: int = 0,
+    ) -> None:
         """Claim blocks covering ``context`` for a new resident request.
 
         The caller (scheduler admission/restore) has already checked
         :meth:`fits`; allocating an already-resident id is a logic error.
+        ``shared_tokens`` (a whole-block multiple) marks a leading prefix
+        already resident in shared cache blocks: those blocks are neither
+        claimed nor charged here — the holding covers only the private
+        remainder.
         """
         if request_id in self._holdings:
             raise ValueError(f"request {request_id} already holds blocks")
-        blocks = self.blocks_for(context)
-        kv_tokens = self.covered_tokens(context, final_context)
+        blocks = self.blocks_for(context) - shared_tokens // self.block_size
+        kv_tokens = self.covered_tokens(context, final_context) - shared_tokens
         self._holdings[request_id] = _Holding(
             blocks=blocks,
             kv_tokens=kv_tokens,
             reserved=self.memory.reserved_bytes(kv_tokens),
+            shared_tokens=shared_tokens,
         )
         self.allocated_blocks += blocks
 
@@ -227,13 +253,19 @@ class BlockPool:
         has room, and reports failure — the preemption trigger — if not.
         """
         holding = self._holdings[request_id]
-        kv_tokens = self.covered_tokens(context, final_context)
+        kv_tokens = (
+            self.covered_tokens(context, final_context)
+            - holding.shared_tokens
+        )
         if kv_tokens <= holding.kv_tokens:
             return True
         reserved = self.memory.reserved_bytes(kv_tokens)
         if reserved - holding.reserved > self.free_bytes:
             return False
-        blocks = self.blocks_for(context)
+        blocks = (
+            self.blocks_for(context)
+            - holding.shared_tokens // self.block_size
+        )
         self.allocated_blocks += blocks - holding.blocks
         holding.blocks = blocks
         holding.kv_tokens = kv_tokens
@@ -244,3 +276,234 @@ class BlockPool:
         """Return all of a request's blocks (completion or preemption)."""
         holding = self._holdings.pop(request_id)
         self.freed_blocks += holding.blocks
+
+
+class PrefixCache:
+    """Refcounted radix-style cache of published session-prefix blocks.
+
+    Keyed by ``(session_id, block_index)`` — the degenerate token-prefix
+    hash of the simulator, where a session's token history *is* its
+    identity, so two turns of one chat share block ``i`` exactly when
+    both cover tokens ``[i * block_size, (i + 1) * block_size)`` of that
+    history.  Only *full* blocks are ever published: the partial tail of
+    a prompt or an in-flight decode is private by construction
+    (copy-on-write — a request whose prompt ends mid-block writes its
+    decode tokens into that block, so the block diverges from the
+    session history and cannot be shared; :meth:`match` therefore stops
+    at the last whole block *strictly before* the first token the new
+    request must compute).
+
+    Entries carry a reference count.  Referenced (pinned) blocks belong
+    to live requests and are never evicted; unreferenced blocks sit in
+    an insertion-ordered LRU and are reclaimed oldest-first whenever
+    live KV wants the bytes (:meth:`PrefixBlockPool._trim`) — cached
+    blocks always lose to live KV, and they lose *before* any request
+    is preempted.  Matching requires the prefix to be contiguous from
+    block 0, so evicting a block implicitly unreaches its descendants —
+    the radix-tree parent/child rule without materializing a tree.
+    """
+
+    def __init__(self, memory: MemoryModel, block_size: int):
+        self.memory = memory
+        self.block_size = block_size
+        #: KV bytes of one full cached block (no per-request state —
+        #: that is charged by whichever request computes on the tokens)
+        self.block_bytes = memory.kv_bytes(block_size)
+        #: (session_id, block_index) -> live references
+        self._refs: dict[tuple[int, int], int] = {}
+        #: refcount-0 entries in eviction order, oldest first
+        self._lru: dict[tuple[int, int], None] = {}
+        #: block keys each resident request currently pins
+        self._holders: dict[int, list[tuple[int, int]]] = {}
+        self.hit_tokens = 0  #: lifetime prefill tokens served from cache
+        self.miss_tokens = 0  #: lifetime prefill tokens actually computed
+        self.evictions = 0  #: lifetime cached blocks reclaimed for live KV
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """All cache entries, pinned and evictable."""
+        return len(self._refs)
+
+    @property
+    def pinned_blocks(self) -> int:
+        """Entries referenced by live requests (never evictable)."""
+        return len(self._refs) - len(self._lru)
+
+    @property
+    def cached_blocks(self) -> int:
+        """Unreferenced entries retained for future reuse (evictable)."""
+        return len(self._lru)
+
+    @property
+    def pinned_bytes(self) -> float:
+        return self.pinned_blocks * self.block_bytes
+
+    @property
+    def cached_bytes(self) -> float:
+        return self.cached_blocks * self.block_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hit_tokens + self.miss_tokens
+        return self.hit_tokens / seen if seen else 0.0
+
+    # -- lookup and lifecycle ----------------------------------------------
+
+    def match(self, session_id: int, prefill_tokens: int) -> int:
+        """Cached whole blocks a ``prefill_tokens``-token prefill can reuse.
+
+        Contiguous from block 0, and capped at
+        ``(prefill_tokens - 1) // block_size`` so at least one token is
+        always left to compute (the engine must price a first-token
+        prefill) and the block the request will *write* into (its
+        mid-block divergence point) is copied, never shared.
+        """
+        cap = (prefill_tokens - 1) // self.block_size
+        n = 0
+        while n < cap and (session_id, n) in self._refs:
+            n += 1
+        return n
+
+    def acquire(self, request_id: int, session_id: int, n_blocks: int) -> None:
+        """Pin blocks ``0..n_blocks-1`` of ``session_id`` for a request."""
+        if n_blocks == 0:
+            return
+        keys = [(session_id, i) for i in range(n_blocks)]
+        for key in keys:
+            if self._refs[key] == 0:
+                del self._lru[key]
+            self._refs[key] += 1
+        self._holders[request_id] = keys
+
+    def release(self, request_id: int) -> None:
+        """Drop a request's pins; newly unreferenced blocks join the LRU."""
+        for key in self._holders.pop(request_id, ()):
+            self._refs[key] -= 1
+            if self._refs[key] == 0:
+                self._lru[key] = None
+
+    def publish(self, session_id: int, history_tokens: int) -> None:
+        """Make every full block of a session history reusable.
+
+        Called when a request completes: its prompt and generated tokens
+        extend the session's shared history.  Already-present blocks are
+        refreshed (moved to the LRU tail when unreferenced); the partial
+        tail block is never published.
+        """
+        for i in range(history_tokens // self.block_size):
+            key = (session_id, i)
+            if key not in self._refs:
+                self._refs[key] = 0
+                self._lru[key] = None
+            elif self._refs[key] == 0:
+                del self._lru[key]
+                self._lru[key] = None
+
+    def evict_lru(self) -> bool:
+        """Reclaim the least-recently-used unreferenced block, if any."""
+        if not self._lru:
+            return False
+        key = next(iter(self._lru))
+        del self._lru[key]
+        del self._refs[key]
+        self.evictions += 1
+        return True
+
+
+class PrefixBlockPool(BlockPool):
+    """A :class:`BlockPool` whose blocks can be shared across requests.
+
+    Adds a :class:`PrefixCache` on the side of the base pool's private
+    holdings.  The accounting split is deliberate:
+
+    * **Pinned cache bytes** (blocks referenced by live requests) gate
+      every decision — they are as unevictable as live KV, so
+      :attr:`free_bytes` subtracts them.
+    * **Unreferenced cached bytes** do *not* gate decisions: they are
+      reclaimed automatically (:meth:`_trim`, LRU order) whenever live
+      KV claims the space, so admission and growth behave exactly as if
+      the cache were empty — cached blocks always yield to live KV, and
+      they are gone long before the scheduler would have to preempt a
+      running request.
+
+    With nothing shared and nothing published, every code path reduces
+    to the base pool's arithmetic on the same floats in the same order —
+    the bit-exactness of the cache-disabled scheduler rests on this.
+    """
+
+    def __init__(
+        self, memory: MemoryModel, capacity_bytes: float, block_size: int
+    ):
+        super().__init__(memory, capacity_bytes, block_size)
+        self.cache = PrefixCache(memory, block_size)
+
+    @property
+    def free_bytes(self) -> float:
+        return super().free_bytes - self.cache.pinned_bytes
+
+    def allocate_reusing(
+        self,
+        request_id: int,
+        session_id: int,
+        context: int,
+        final_context: int,
+        prefill_tokens: int,
+    ) -> int:
+        """Allocate like :meth:`allocate`, reusing cached prefix blocks.
+
+        ``prefill_tokens`` is the prefill the engine is about to price
+        (the prompt at admission, prompt + generated at restore); the
+        cached prefix shortens it.  Returns the hit tokens so the
+        scheduler can pass them to the engine's pricing.
+        """
+        hit_blocks = self.cache.match(session_id, prefill_tokens)
+        hit_tokens = hit_blocks * self.block_size
+        # Pin before allocating: the allocation's trim may otherwise
+        # reclaim the very blocks just matched under a tight pool.
+        self.cache.acquire(request_id, session_id, hit_blocks)
+        self.allocate(
+            request_id, context, final_context, shared_tokens=hit_tokens
+        )
+        self.cache.hit_tokens += hit_tokens
+        self.cache.miss_tokens += prefill_tokens - hit_tokens
+        return hit_tokens
+
+    def allocate(
+        self,
+        request_id: int,
+        context: int,
+        final_context: int,
+        shared_tokens: int = 0,
+    ) -> None:
+        super().allocate(request_id, context, final_context, shared_tokens)
+        self._trim()
+
+    def extend(self, request_id: int, context: int, final_context: int) -> bool:
+        grew = super().extend(request_id, context, final_context)
+        if grew:
+            self._trim()
+        return grew
+
+    def release(self, request_id: int) -> None:
+        super().release(request_id)
+        self.cache.release(request_id)
+
+    def publish(self, session_id: int, history_tokens: int) -> None:
+        """Publish a completed request's session history to the cache."""
+        self.cache.publish(session_id, history_tokens)
+        self._trim()
+
+    def _trim(self) -> None:
+        """Evict unreferenced cached blocks until they fit the free pool.
+
+        The physical bound: private holdings + pinned cache + retained
+        cache must fit the budget.  Decisions ignore retained blocks, so
+        whenever live KV (or a pin) claims bytes the retained set is
+        trimmed LRU-first to whatever headroom is left — cached blocks
+        yield to live KV, never the other way around.
+        """
+        free = self.free_bytes
+        while self.cache.cached_bytes > free and self.cache.evict_lru():
+            pass

@@ -57,6 +57,9 @@ class RequestTiming:
     first_token_s: float  #: end of the first decode iteration
     finished_s: float  #: end of the last decode iteration
     preemptions: int = 0  #: times a paged scheduler evicted this request
+    #: prompt tokens served from a prefix cache instead of recomputed
+    #: (0 for every scheduler without one)
+    cached_tokens: int = 0
 
     def __post_init__(self) -> None:
         if not (
@@ -124,7 +127,7 @@ class RequestStats:
 
     __slots__ = (
         "capacity", "count", "rows", "prompt_tokens", "generated_tokens",
-        "_rng",
+        "cached_tokens", "_rng",
     )
 
     def __init__(self, capacity: int = DEFAULT_SKETCH_CAPACITY):
@@ -136,6 +139,7 @@ class RequestStats:
         self.rows: list[tuple[float, float, float]] = []
         self.prompt_tokens = 0
         self.generated_tokens = 0
+        self.cached_tokens = 0
         self._rng = random.Random(_SKETCH_SEED)
 
     @property
@@ -152,6 +156,7 @@ class RequestStats:
         """Fold one completed request into the counters and the reservoir."""
         self.prompt_tokens += timing.input_len
         self.generated_tokens += timing.output_len
+        self.cached_tokens += timing.cached_tokens
         self.count += 1
         row = (timing.ttft_s, timing.tpot_s, timing.e2e_s)
         if len(self.rows) < self.capacity:
@@ -216,6 +221,7 @@ class RequestStats:
         merged.count = sum(p.count for p in parts)
         merged.prompt_tokens = sum(p.prompt_tokens for p in parts)
         merged.generated_tokens = sum(p.generated_tokens for p in parts)
+        merged.cached_tokens = sum(p.cached_tokens for p in parts)
         if sum(len(p.rows) for p in parts) <= capacity:
             for p in parts:
                 merged.rows.extend(p.rows)
@@ -244,12 +250,14 @@ class RequestStats:
             self.count,
             self.prompt_tokens,
             self.generated_tokens,
+            self.cached_tokens,
             sorted(self.rows),
         ) == (
             other.capacity,
             other.count,
             other.prompt_tokens,
             other.generated_tokens,
+            other.cached_tokens,
             sorted(other.rows),
         )
 
@@ -400,6 +408,10 @@ class ServingReport:
     #: time-weighted queue-depth sketch (p50/p99 companions to the exact
     #: mean/max); optional so hand-built reports stay valid without one
     depth: DepthSketch | None = dataclasses.field(default=None, kw_only=True)
+    #: prefix-cache counters (all zero for schedulers without a cache)
+    cache_hit_tokens: int = dataclasses.field(default=0, kw_only=True)
+    cache_miss_tokens: int = dataclasses.field(default=0, kw_only=True)
+    cache_evictions: int = dataclasses.field(default=0, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.stats.n and self.makespan_s <= 0:
@@ -473,6 +485,18 @@ class ServingReport:
             return float("nan")
         return self.depth.percentile(p)
 
+    @property
+    def prefix_cache_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from the prefix cache.
+
+        0.0 when the run priced no prompt tokens through a cache at all
+        (schedulers without one report zero hits *and* zero misses).
+        """
+        total = self.cache_hit_tokens + self.cache_miss_tokens
+        if total == 0:
+            return 0.0
+        return self.cache_hit_tokens / total
+
     # -- SLO-conditioned metrics ----------------------------------------------
 
     def slo_attainment(self, slo: SloSpec) -> float:
@@ -513,6 +537,13 @@ class ServingReport:
             # round-trip anyway).
             payload["queue_depth_p50"] = self.queue_depth_percentile(50)
             payload["queue_depth_p99"] = self.queue_depth_percentile(99)
+        if self.cache_hit_tokens or self.cache_miss_tokens:
+            # Conditional like the depth keys: runs under a cacheless
+            # scheduler keep their historical payload shape.
+            payload["cache_hit_tokens"] = self.cache_hit_tokens
+            payload["cache_miss_tokens"] = self.cache_miss_tokens
+            payload["cache_evictions"] = self.cache_evictions
+            payload["prefix_cache_hit_rate"] = self.prefix_cache_hit_rate
         if slo is not None:
             payload["slo_ttft_s"] = slo.ttft_s
             payload["slo_tpot_s"] = slo.tpot_s
@@ -540,6 +571,9 @@ class EngineStats:
     n_prefills: int
     preemptions: int = 0
     depth: DepthSketch | None = None
+    cache_hit_tokens: int = 0
+    cache_miss_tokens: int = 0
+    cache_evictions: int = 0
 
     @property
     def makespan_s(self) -> float:
@@ -555,6 +589,9 @@ class EngineStats:
             n_prefills=self.n_prefills,
             n_preemptions=self.preemptions,
             depth=self.depth,
+            cache_hit_tokens=self.cache_hit_tokens,
+            cache_miss_tokens=self.cache_miss_tokens,
+            cache_evictions=self.cache_evictions,
         )
 
     @classmethod
@@ -587,4 +624,7 @@ class EngineStats:
             n_prefills=sum(p.n_prefills for p in parts),
             preemptions=sum(p.preemptions for p in parts),
             depth=DepthSketch.merge(depths, capacity) if depths else None,
+            cache_hit_tokens=sum(p.cache_hit_tokens for p in parts),
+            cache_miss_tokens=sum(p.cache_miss_tokens for p in parts),
+            cache_evictions=sum(p.cache_evictions for p in parts),
         )

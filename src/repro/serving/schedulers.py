@@ -1,6 +1,6 @@
 """Batching policies for the request-level serving engine.
 
-Six schedulers, in increasing order of sophistication:
+Seven schedulers, in increasing order of sophistication:
 
 * :class:`StaticBatchScheduler` — wait for a full batch, run it to
   completion, repeat.  Parity with the paper's evaluation shape (and with
@@ -33,6 +33,13 @@ Six schedulers, in increasing order of sophistication:
   running request is preempted (its blocks freed, the request re-queued
   for a recompute-style restore whose re-prefill is priced like any
   other prefill — preemption has a visible latency cost).
+* :class:`PrefixCachingScheduler` — SGLang-style radix prefix reuse on
+  top of the paged pool: completed requests publish their session's
+  whole KV blocks to a refcounted
+  :class:`~repro.serving.memory.PrefixCache`, later turns of the same
+  chat pin the shared prefix instead of recomputing it, and only the
+  uncached suffix is charged — and priced.  Unreferenced cached blocks
+  are evicted LRU-first the moment live KV wants the space.
 
 A scheduler also owns the *pricing shape* of a decode iteration — which
 (batch, context) point the cost model is asked for — because that shape is
@@ -50,7 +57,12 @@ import numpy as np
 
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
-from repro.serving.memory import BlockPool, MemoryModel, validate_capacity
+from repro.serving.memory import (
+    BlockPool,
+    MemoryModel,
+    PrefixBlockPool,
+    validate_capacity,
+)
 from repro.workloads.requests import TimedRequest
 from repro.workloads.serving import clamped_stride
 
@@ -75,6 +87,13 @@ class RunningRequest:
     #: times this request was preempted (blocks freed, re-queued for a
     #: recompute-style restore) by a preemptive scheduler
     preemptions: int = 0
+    #: lifetime prefill tokens served from the prefix cache instead of
+    #: being recomputed (admissions + restores; 0 without a cache)
+    cached_tokens: int = 0
+    #: prefix-cache hit of the *latest* allocation — what the engine
+    #: subtracts from the prefill it is about to price (reset per
+    #: admission/restore by the caching scheduler; 0 for everyone else)
+    cache_hit_last: int = 0
 
     @property
     def input_len(self) -> int:
@@ -215,6 +234,26 @@ class Scheduler(abc.ABC):
         :class:`~repro.serving.memory.BlockPool` report zero so the
         counter track renders flat rather than missing.
         """
+        return 0
+
+    # Prefix-cache counters, read by the engine for gauges and the run
+    # record.  Zero for every policy without a cache, so the fields they
+    # feed keep their defaults and traces stay comparable across
+    # policies.
+
+    @property
+    def cache_hit_tokens(self) -> int:
+        """Lifetime prefill tokens served from a prefix cache."""
+        return 0
+
+    @property
+    def cache_miss_tokens(self) -> int:
+        """Lifetime prefill tokens actually computed under a prefix cache."""
+        return 0
+
+    @property
+    def cache_evictions(self) -> int:
+        """Lifetime cached blocks reclaimed to make room for live KV."""
         return 0
 
     def iteration_shape(
@@ -633,6 +672,110 @@ class PagedScheduler(Scheduler):
         return self.pool.blocks_in_use
 
 
+class PrefixCachingScheduler(PagedScheduler):
+    """Paged KV with SGLang-style radix prefix reuse across a session.
+
+    Identical decision machinery to :class:`PagedScheduler` — same
+    admission packing, same growth, same youngest-first preemption — on
+    top of a :class:`~repro.serving.memory.PrefixBlockPool`:
+
+    * **Allocation reuses.**  An admitted (or restored) request whose
+      :attr:`~repro.workloads.requests.Request.session_id` has published
+      prefix blocks pins them instead of claiming private ones, and only
+      the uncached suffix is charged to the pool.  The engine then
+      prices only that suffix
+      (:meth:`~repro.serving.costs.IterationCostModel.chunk_prefill_seconds`
+      from the hit boundary, so chunk costs telescope exactly).
+    * **Completion publishes.**  A finished request's prompt + generated
+      tokens extend its session's shared history; every full block
+      becomes reusable by later turns.  Preemption publishes nothing —
+      its restore recomputes, like the base policy.
+    * **Cached blocks lose to live KV.**  Unreferenced cached blocks
+      never gate admission or growth; they are reclaimed LRU-first the
+      moment live KV wants the bytes, so eviction always precedes (and
+      usually prevents nothing about) preemption — shared pinned blocks
+      are never evicted at all.
+
+    ``cache=False`` — or any trace without session ids — makes every
+    decision, every float, and every counter identical to
+    :class:`PagedScheduler`: the equivalence tests pin this bit for bit.
+    """
+
+    name = "prefix"
+
+    def __init__(
+        self,
+        memory: MemoryModel,
+        capacity_bytes: float,
+        block_size: int = 64,
+        preempt: bool = True,
+        max_batch: int = 512,
+        step_stride: int = 32,
+        cache: bool = True,
+    ):
+        super().__init__(
+            memory, capacity_bytes, block_size, preempt, max_batch,
+            step_stride,
+        )
+        self.pool = PrefixBlockPool(memory, capacity_bytes, block_size)
+        self.cache_enabled = cache
+
+    def _reusable(self, r: RunningRequest) -> bool:
+        return self.cache_enabled and r.timed.session_id is not None
+
+    def _allocate(self, r: RunningRequest, prefill_tokens: int) -> None:
+        """Allocate for an admission/restore, reusing cached blocks.
+
+        ``prefill_tokens`` is what the engine is about to price (the
+        prompt at admission, prompt + generated at restore); the
+        recorded hit shortens exactly that prefill.
+        """
+        context = (
+            self._admission_context(r.input_len, r.output_len) + r.generated
+        )
+        final = r.input_len + r.output_len
+        if self._reusable(r):
+            hit = self.pool.allocate_reusing(
+                r.timed.request_id,
+                r.timed.session_id,
+                context,
+                final,
+                prefill_tokens,
+            )
+        else:
+            self.pool.allocate(r.timed.request_id, context, final)
+            hit = 0
+        r.cache_hit_last = hit
+        r.cached_tokens += hit
+
+    def on_admit(self, admitted: Sequence[RunningRequest]) -> None:
+        for r in admitted:
+            self._allocate(r, r.input_len)
+
+    def on_restore(self, request: RunningRequest) -> None:
+        self._allocate(request, request.input_len + request.generated)
+
+    def release(self, request: RunningRequest) -> None:
+        if self._reusable(request) and request.done:
+            self.pool.publish(
+                request.timed.session_id,
+                request.input_len + request.generated,
+            )
+        self.pool.release(request.timed.request_id)
+
+    @property
+    def cache_hit_tokens(self) -> int:
+        return self.pool.cache.hit_tokens
+
+    @property
+    def cache_miss_tokens(self) -> int:
+        return self.pool.cache.miss_tokens
+
+    @property
+    def cache_evictions(self) -> int:
+        return self.pool.cache.evictions
+
+
 class OverlapScheduler(ChunkedPrefillScheduler):
     """NeuPIMs-style prefill/decode sub-batch overlap.
 
@@ -671,8 +814,9 @@ def build_scheduler(
     final context up front, the :class:`MemoryAwareScheduler`-bit-exact
     degenerate mode).
     """
-    if name == "paged":
-        return PagedScheduler(
+    if name in ("paged", "prefix"):
+        cls = PagedScheduler if name == "paged" else PrefixCachingScheduler
+        return cls(
             MemoryModel.for_system(system, spec),
             capacity_bytes if capacity_bytes is not None
             else system.capacity_bytes,
@@ -705,5 +849,5 @@ def build_scheduler(
         )
     raise KeyError(
         f"unknown scheduler {name!r}; "
-        "available: static, fcfs, memory, chunked, overlap, paged"
+        "available: static, fcfs, memory, chunked, overlap, paged, prefix"
     )

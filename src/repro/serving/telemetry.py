@@ -109,8 +109,15 @@ class Collector:
         n_running: int,
         blocks_in_use: int,
         preemptions: int,
+        cache_hit_tokens: int = 0,
+        cache_miss_tokens: int = 0,
+        cache_evictions: int = 0,
     ) -> None:
-        """Iteration gauges at a batch-composition event."""
+        """Iteration gauges at a batch-composition event.
+
+        The prefix-cache counters are cumulative and default to 0 so
+        hand-written collectors predating the cache stay valid callers.
+        """
 
 
 class NullCollector(Collector):
@@ -137,7 +144,8 @@ class Track:
         #: steps is 0 for prefill kinds, >= 1 for decode spans
         self.spans: list[tuple] = []
         #: (t, queue_depth, n_running, blocks_in_use, preemptions,
-        #:  prefill_tokens_cum, decode_tokens_cum)
+        #:  prefill_tokens_cum, decode_tokens_cum,
+        #:  cache_hit_tokens_cum, cache_miss_tokens_cum, cache_evictions_cum)
         self.gauges: list[tuple] = []
         #: (request_id, t_preempt, t_restore_start)
         self.preempt_spans: list[tuple[int, float, float]] = []
@@ -165,6 +173,7 @@ class Track:
                         first_token_s=r.first_token_s,
                         finished_s=r.finished_s,
                         preemptions=r.preemptions,
+                        cached_tokens=r.cached_tokens,
                     )
                     for r in self.finished
                 ),
@@ -236,12 +245,16 @@ class _TrackCollector(Collector):
     def finish(self, request):
         self.track.finished.append(request)
 
-    def gauge(self, t, queue_depth, n_running, blocks_in_use, preemptions):
+    def gauge(
+        self, t, queue_depth, n_running, blocks_in_use, preemptions,
+        cache_hit_tokens=0, cache_miss_tokens=0, cache_evictions=0,
+    ):
         track = self.track
         track.gauges.append(
             (
                 t, queue_depth, n_running, blocks_in_use, preemptions,
                 track.prefill_tokens, track.decode_tokens,
+                cache_hit_tokens, cache_miss_tokens, cache_evictions,
             )
         )
 
@@ -420,17 +433,32 @@ class Timeline:
                         "args": {},
                     }
                 )
-            for t, depth, running, blocks, preempts, pf_tok, dc_tok in (
-                track.gauges
-            ):
+            any_cache = any(
+                g[7] or g[8] or g[9] for g in track.gauges
+            )
+            for (
+                t, depth, running, blocks, preempts, pf_tok, dc_tok,
+                hit_tok, miss_tok, evictions,
+            ) in track.gauges:
                 ts = us(t)
-                counters = (
+                counters = [
                     ("queue_depth", {"requests": depth}),
                     ("running", {"requests": running}),
                     ("blocks_in_use", {"blocks": blocks}),
                     ("preemptions", {"count": preempts}),
                     ("tokens", {"prefill": pf_tok, "decode": dc_tok}),
-                )
+                ]
+                if any_cache:
+                    # Only runs under a prefix-caching scheduler grow the
+                    # extra track; cacheless exports keep their shape.
+                    counters.append((
+                        "prefix_cache",
+                        {
+                            "hit_tokens": hit_tok,
+                            "miss_tokens": miss_tok,
+                            "evictions": evictions,
+                        },
+                    ))
                 for name, args in counters:
                     events.append(
                         {

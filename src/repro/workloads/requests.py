@@ -15,11 +15,19 @@ import numpy as np
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One user request in a serving batch."""
+    """One user request in a serving batch.
+
+    ``session_id`` groups the turns of one multi-turn conversation:
+    every turn's prompt is the session's token history so far, so two
+    requests of one session share a growing token prefix — what a
+    prefix-caching scheduler reuses.  ``None`` (the default) means the
+    request shares tokens with nobody.
+    """
 
     request_id: int
     input_len: int
     output_len: int
+    session_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.input_len < 1 or self.output_len < 1:
@@ -79,6 +87,10 @@ class TimedRequest:
     @property
     def output_len(self) -> int:
         return self.request.output_len
+
+    @property
+    def session_id(self) -> int | None:
+        return self.request.session_id
 
 
 @dataclasses.dataclass(frozen=True)
@@ -154,23 +166,39 @@ class Trace:
         return cls(tuple(requests))
 
     def to_payload(self) -> list[dict]:
-        """JSON-serializable form (see :func:`repro.serving.save_trace`)."""
-        return [
-            {
+        """JSON-serializable form (see :func:`repro.serving.save_trace`).
+
+        ``session_id`` is emitted only when present, so sessionless
+        corpus files keep their historical byte-for-byte shape (the
+        replay sweep pins them by content hash).
+        """
+        payload = []
+        for r in self.requests:
+            entry = {
                 "request_id": r.request_id,
                 "input_len": r.input_len,
                 "output_len": r.output_len,
                 "arrival_s": r.arrival_s,
             }
-            for r in self.requests
-        ]
+            if r.session_id is not None:
+                entry["session_id"] = r.session_id
+            payload.append(entry)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: list[dict]) -> "Trace":
         return cls(tuple(
             TimedRequest(
-                Request(int(d["request_id"]), int(d["input_len"]),
-                        int(d["output_len"])),
+                Request(
+                    int(d["request_id"]),
+                    int(d["input_len"]),
+                    int(d["output_len"]),
+                    session_id=(
+                        int(d["session_id"])
+                        if d.get("session_id") is not None
+                        else None
+                    ),
+                ),
                 float(d["arrival_s"]),
             )
             for d in payload

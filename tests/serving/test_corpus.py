@@ -48,7 +48,8 @@ class TestReplaySweep:
         re-keys its own trials and leaves the sibling trace's alone."""
         spec = trace_replay_spec()
         edited = spec.with_axes(
-            trace=("bursty@" + "0" * 20, pinned_trace("steady"))
+            trace=("bursty@" + "0" * 20,)
+            + tuple(pinned_trace(n) for n in SHIPPED_TRACES if n != "bursty")
         )
         fresh = {t.key: t.params["trace"] for t in spec.trials()}
         stale = {t.key: t.params["trace"] for t in edited.trials()}
@@ -56,8 +57,8 @@ class TestReplaySweep:
         kept = set(fresh) & set(stale)
         assert all(fresh.get(k, stale.get(k)).startswith("bursty@")
                    for k in changed)
-        assert all(fresh[k].startswith("steady@") for k in kept)
-        assert kept  # steady trials survive a bursty edit untouched
+        assert all(not fresh[k].startswith("bursty@") for k in kept)
+        assert kept  # sibling trials survive a bursty edit untouched
 
     def test_replay_trial_end_to_end(self):
         payload = trace_replay_slo("Pimba", "steady", max_batch=8)

@@ -27,6 +27,7 @@ from repro.serving import (
     ChunkedPrefillScheduler,
     MemoryModel,
     PagedScheduler,
+    PrefixCachingScheduler,
     ReferenceEngine,
     RunningRequest,
     ServingEngine,
@@ -37,6 +38,7 @@ from repro.serving import (
     fixed_lengths,
     gamma_trace,
     lognormal_lengths,
+    multiturn_chat_trace,
     poisson_trace,
 )
 from repro.workloads.requests import Request, TimedRequest
@@ -45,7 +47,7 @@ BUDGET = 96
 
 SCHEDULERS = (
     "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
-    "paged", "paged+tight",
+    "paged", "paged+tight", "prefix", "prefix+tight",
 )
 
 TRACES = {
@@ -57,6 +59,12 @@ TRACES = {
     ),
     "ragged": lambda: poisson_trace(
         6.0, 24, lognormal_lengths(192, 24, 0.6), seed=2
+    ),
+    # Sessions re-send their growing history, so the prefix policies see
+    # real cache hits (the sessionless traces leave their cache cold).
+    "chat": lambda: multiturn_chat_trace(
+        3.0, 6, turns=3, first_input=128, user_tokens=24, output_len=24,
+        think_s=1.0, seed=3,
     ),
 }
 
@@ -81,9 +89,12 @@ def make_scheduler(name, system, spec):
             memory=MemoryModel.for_system(system, spec),
             capacity_bytes=system.capacity_bytes,
         )
-    if name == "paged+tight":
+    if name in ("paged+tight", "prefix+tight"):
+        cls = PagedScheduler if name == "paged+tight" else (
+            PrefixCachingScheduler
+        )
         memory = MemoryModel.for_system(system, spec)
-        return PagedScheduler(
+        return cls(
             memory,
             memory.weights_bytes + 2.93 * memory.request_bytes(256, 32),
             block_size=16,
@@ -137,6 +148,66 @@ class TestBitExactness:
             make_scheduler(scheduler_name, pimba_system, zamba_spec),
         ).run(trace).to_payload(SLO)
         assert streamed == recorded
+
+
+class TestPrefixDegeneracy:
+    """Prefix caching off — or starved of sessions — IS the paged policy.
+
+    Not approximately: every decision float, every priced iteration, and
+    every counter of :class:`PrefixCachingScheduler` must be bit-equal to
+    :class:`PagedScheduler`'s whenever the cache cannot apply, so turning
+    the feature on can never perturb a cacheless workload.
+    """
+
+    def pair(self, system, spec, cache):
+        memory = MemoryModel.for_system(system, spec)
+        # Tight enough to preempt, so the evict/restore path is part of
+        # the equivalence too, not just steady-state admission.
+        capacity = memory.weights_bytes + 2.93 * memory.request_bytes(
+            256, 32
+        )
+        paged = PagedScheduler(memory, capacity, block_size=16, max_batch=8)
+        prefix = PrefixCachingScheduler(
+            memory, capacity, block_size=16, max_batch=8, cache=cache
+        )
+        return paged, prefix
+
+    def test_cache_disabled_is_paged_bit_for_bit(
+        self, pimba_system, zamba_spec
+    ):
+        """Session ids present, cache off: identical EngineTrace."""
+        trace = TRACES["chat"]()
+        paged, prefix = self.pair(pimba_system, zamba_spec, cache=False)
+        baseline = ServingEngine(pimba_system, zamba_spec, paged).serve(trace)
+        run = ServingEngine(pimba_system, zamba_spec, prefix).serve(trace)
+        assert dataclasses.asdict(run) == dataclasses.asdict(baseline)
+        assert run.cache_hit_tokens == 0
+        assert run.cache_miss_tokens == 0
+
+    def test_sessionless_trace_is_paged_bit_for_bit(
+        self, pimba_system, zamba_spec
+    ):
+        """Cache on, but no request carries a session id: identical."""
+        trace = TRACES["poisson"]()
+        paged, prefix = self.pair(pimba_system, zamba_spec, cache=True)
+        baseline = ServingEngine(pimba_system, zamba_spec, paged).serve(trace)
+        run = ServingEngine(pimba_system, zamba_spec, prefix).serve(trace)
+        assert dataclasses.asdict(run) == dataclasses.asdict(baseline)
+        assert run.cache_hit_tokens == 0
+        assert run.cache_miss_tokens == 0
+
+    def test_cache_on_actually_diverges_on_sessions(
+        self, pimba_system, zamba_spec
+    ):
+        """The harness is not vacuous: with sessions and the cache on,
+        the prefix policy really does skip recomputation."""
+        trace = TRACES["chat"]()
+        paged, prefix = self.pair(pimba_system, zamba_spec, cache=True)
+        baseline = ServingEngine(pimba_system, zamba_spec, paged).serve(trace)
+        run = ServingEngine(pimba_system, zamba_spec, prefix).serve(trace)
+        assert run.cache_hit_tokens > 0
+        assert sum(run.prefill_tokens) < sum(baseline.prefill_tokens)
+        assert sum(run.decode_tokens) == sum(baseline.decode_tokens)
 
 
 @pytest.mark.parametrize("scheduler_name", SCHEDULERS)

@@ -1,9 +1,10 @@
 """Scheduler-invariant harness: properties every policy must satisfy.
 
 Every scheduler — static, FCFS continuous, memory-aware, chunked
-prefill, overlap, the capacity-bounded chunked variant, and paged KV
-(both with a roomy pool and with a deliberately tight, preempting one)
-— serves the same seeded traces, and the harness asserts the invariants
+prefill, overlap, the capacity-bounded chunked variant, paged KV, and
+the prefix-caching paged variant (each of the paged pair both with a
+roomy pool and with a deliberately tight, preempting one) — serves the
+same seeded traces, and the harness asserts the invariants
 that make an engine run *a serving run* regardless of policy:
 
 * conservation — every trace request is admitted exactly once and
@@ -34,11 +35,13 @@ from repro.serving import (
     MemoryModel,
     OverlapScheduler,
     PagedScheduler,
+    PrefixCachingScheduler,
     ServingEngine,
     build_scheduler,
     fixed_lengths,
     gamma_trace,
     lognormal_lengths,
+    multiturn_chat_trace,
     poisson_trace,
 )
 
@@ -48,7 +51,7 @@ BUDGET = 96
 
 SCHEDULERS = (
     "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
-    "paged", "paged+tight",
+    "paged", "paged+tight", "prefix", "prefix+tight",
 )
 
 TRACES = {
@@ -60,6 +63,12 @@ TRACES = {
     ),
     "ragged": lambda: poisson_trace(
         6.0, 24, lognormal_lengths(192, 24, 0.6), seed=2
+    ),
+    # Multi-turn sessions: the one trace where the prefix policies get
+    # real cache hits, so their shortened prefills face the invariants.
+    "chat": lambda: multiturn_chat_trace(
+        3.0, 6, turns=3, first_input=128, user_tokens=24, output_len=24,
+        think_s=1.0, seed=3,
     ),
 }
 
@@ -83,13 +92,17 @@ def make_scheduler(name, system, spec):
             memory=MemoryModel.for_system(system, spec),
             capacity_bytes=system.capacity_bytes,
         )
-    if name == "paged+tight":
+    if name in ("paged+tight", "prefix+tight"):
         # A pool that holds three admission-time footprints but not
         # three full contexts (blocks finer than the decode length), so
         # growth claims fail mid-decode and the preempt/restore path is
-        # exercised by the shared invariants.
+        # exercised by the shared invariants (for prefix, with cached
+        # blocks competing against live KV for the same bytes).
+        cls = PagedScheduler if name == "paged+tight" else (
+            PrefixCachingScheduler
+        )
         memory = MemoryModel.for_system(system, spec)
-        return PagedScheduler(
+        return cls(
             memory,
             memory.weights_bytes + 2.93 * memory.request_bytes(256, 32),
             block_size=16,
@@ -164,9 +177,10 @@ class TestSchedulerInvariants:
         assert all(n >= 1 for n in run.prefill_tokens)
         if scheduler_name in ("chunked", "overlap", "chunked+hbm"):
             bound = BUDGET
-        elif scheduler_name.startswith("paged"):
+        elif scheduler_name.startswith(("paged", "prefix")):
             # A restore re-prefills prompt + already-generated tokens;
-            # a request is never preempted after its final token.
+            # a request is never preempted after its final token.  A
+            # prefix cache hit only ever *shrinks* an event below this.
             bound = max(
                 r.input_len + r.output_len - 1 for r in trace.requests
             )
@@ -191,7 +205,7 @@ class TestSchedulerInvariants:
             assert not math.isnan(p50) and p50 <= p99
         assert report.throughput_tokens_per_s > 0
         assert report.n_preemptions == run.preemptions
-        if not scheduler_name.startswith("paged"):
+        if not scheduler_name.startswith(("paged", "prefix")):
             assert run.preemptions == 0
 
 

@@ -29,6 +29,7 @@ from repro.serving import (
     MemoryModel,
     NullCollector,
     PagedScheduler,
+    PrefixCachingScheduler,
     ServingEngine,
     SloSpec,
     TimelineCollector,
@@ -36,6 +37,7 @@ from repro.serving import (
     build_scheduler,
     fixed_lengths,
     gamma_trace,
+    multiturn_chat_trace,
     poisson_trace,
     validate_trace_events,
     write_trace_file,
@@ -46,7 +48,7 @@ BUDGET = 96
 
 SCHEDULERS = (
     "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
-    "paged", "paged+tight",
+    "paged", "paged+tight", "prefix", "prefix+tight",
 )
 
 SLO = SloSpec(ttft_s=2.0, tpot_s=0.018)
@@ -73,9 +75,12 @@ def make_scheduler(name, system, spec):
             memory=MemoryModel.for_system(system, spec),
             capacity_bytes=system.capacity_bytes,
         )
-    if name == "paged+tight":
+    if name in ("paged+tight", "prefix+tight"):
+        cls = PagedScheduler if name == "paged+tight" else (
+            PrefixCachingScheduler
+        )
         memory = MemoryModel.for_system(system, spec)
-        return PagedScheduler(
+        return cls(
             memory,
             memory.weights_bytes + 2.93 * memory.request_bytes(256, 32),
             block_size=16,
@@ -285,6 +290,36 @@ class TestPerfettoExport:
 
     def test_golden_trace_is_schema_valid(self):
         assert validate_trace_events(json.loads(GOLDEN_PATH.read_text())) == []
+
+    def test_prefix_cache_counter_track_only_when_cache_engaged(
+        self, pimba_system, zamba_spec
+    ):
+        """A prefix-caching run with hits grows a ``prefix_cache``
+        counter track; cacheless runs keep the historical export shape
+        byte for byte (which is why the golden file did not change)."""
+        chat = multiturn_chat_trace(
+            0.5, 4, turns=3, first_input=256, user_tokens=32,
+            output_len=32, think_s=2.0, seed=0,
+        )
+        record, timeline = recorded_run(
+            pimba_system, zamba_spec, "prefix", chat
+        )
+        assert record.cache_hit_tokens > 0
+        payload = timeline.to_trace_events()
+        assert validate_trace_events(payload) == []
+        cached = [
+            e for e in payload["traceEvents"]
+            if e.get("ph") == "C" and e.get("name") == "prefix_cache"
+        ]
+        assert cached
+        assert max(e["args"]["hit_tokens"] for e in cached) == (
+            record.cache_hit_tokens
+        )
+        _, cold = recorded_run(pimba_system, zamba_spec, "paged+tight", chat)
+        assert not any(
+            e.get("name") == "prefix_cache"
+            for e in cold.to_trace_events()["traceEvents"]
+        )
 
     def test_validator_rejects_corruption(self):
         golden = json.loads(GOLDEN_PATH.read_text())
