@@ -52,6 +52,8 @@ METRIC_DIRECTIONS: dict[str, bool] = {
     # prefix-cache reuse: hit rate must not shrink (a later PR that
     # quietly breaks reuse turns the gate red, not just a dashboard)
     "prefix_cache_hit_rate": True,
+    # cross-replica reuse: same contract for the shared tier's share
+    "remote_prefix_hit_rate": True,
     # batch-level throughput trials
     "tokens_per_second": True,
     "generation_throughput": True,

@@ -133,6 +133,16 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.prefix_reuse_assemble,
         render=serving_experiments.prefix_reuse_render,
     ),
+    "cross_replica_prefix": Figure(
+        name="cross_replica_prefix",
+        title=(
+            "Cross-replica prefix reuse: router face-off over the shared "
+            "KV tier on multi-turn chat (per replica count)"
+        ),
+        spec=serving_experiments.cross_replica_prefix_spec,
+        assemble=serving_experiments.cross_replica_prefix_assemble,
+        render=serving_experiments.cross_replica_prefix_render,
+    ),
     "utilization_timeline": Figure(
         name="utilization_timeline",
         title=(

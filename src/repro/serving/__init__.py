@@ -19,9 +19,12 @@ policies to each other.
 The cluster layer (:mod:`repro.serving.cluster` /
 :mod:`repro.serving.routing`) scales this to a data-parallel fleet: a
 :class:`ClusterEngine` drives N independent engine replicas behind a
-front-end router (round-robin, least-loaded, or affinity hashing) and
-merges their events into one report with per-replica breakdowns; the
-shipped trace corpus (:mod:`repro.serving.corpus`) provides replayable
+front-end router (round-robin, least-loaded, session-affinity hashing,
+or cache-aware least-backlog) and merges their events into one report
+with per-replica breakdowns; a :class:`SharedPrefixTier` optionally
+joins the replicas' prefix pools so session history published on one
+node can be pulled by another over a priced interconnect; the shipped
+trace corpus (:mod:`repro.serving.corpus`) provides replayable
 bursty/steady request streams under ``traces/``.
 """
 
@@ -45,18 +48,20 @@ from repro.serving.cluster import (
     build_cluster,
 )
 from repro.serving._reference import ReferenceEngine
-from repro.serving.costs import IterationCostModel
+from repro.serving.costs import DEFAULT_LINK_GBPS, IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
 from repro.serving.memory import (
     BlockPool,
     MemoryModel,
     PrefixBlockPool,
     PrefixCache,
+    SharedPrefixTier,
     validate_capacity,
 )
 from repro.serving.routing import (
     ROUTER_NAMES,
     AffinityRouter,
+    CacheAwareRouter,
     LeastOutstandingRouter,
     RoundRobinRouter,
     Router,
@@ -107,6 +112,7 @@ __all__ = [
     "poisson_trace",
     "save_trace",
     "static_trace",
+    "DEFAULT_LINK_GBPS",
     "IterationCostModel",
     "EngineTrace",
     "ReferenceEngine",
@@ -119,6 +125,7 @@ __all__ = [
     "build_cluster",
     "ROUTER_NAMES",
     "AffinityRouter",
+    "CacheAwareRouter",
     "LeastOutstandingRouter",
     "RoundRobinRouter",
     "Router",
@@ -149,6 +156,7 @@ __all__ = [
     "PrefixBlockPool",
     "PrefixCache",
     "PrefixCachingScheduler",
+    "SharedPrefixTier",
     "RunningRequest",
     "Scheduler",
     "StaticBatchScheduler",

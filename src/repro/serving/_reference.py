@@ -70,6 +70,30 @@ class ReferenceEngine:
         prefill_tokens: list[int] = []
         preemptions = 0
 
+        if not pending:
+            # An empty trace serves to an empty record: zero span, no
+            # events, the NaN-percentile report — exactly what one
+            # replica of a cluster that routed it nothing produces.
+            return EngineTrace(
+                timings=(),
+                iteration_seconds=(),
+                decode_tokens=(),
+                prefill_seconds=(),
+                prefill_tokens=(),
+                start_s=0.0,
+                end_s=0.0,
+                mean_queue_depth=0.0,
+                max_queue_depth=0,
+                preemptions=0,
+                cache_hit_tokens=self.scheduler.cache_hit_tokens,
+                cache_miss_tokens=self.scheduler.cache_miss_tokens,
+                cache_evictions=self.scheduler.cache_evictions,
+                remote_hit_tokens=self.scheduler.remote_hit_tokens,
+                transferred_bytes=self.scheduler.transferred_bytes,
+                kv_transfers=self.scheduler.kv_transfers,
+                depth=DepthSketch(DEFAULT_SKETCH_CAPACITY),
+            )
+
         start = pending[0].arrival_s
         clock = start
         depth_area = 0.0
@@ -155,6 +179,10 @@ class ReferenceEngine:
                         )
                     else:
                         dt = self.cost.prefill_seconds(1, context)
+                    # A restore that pulled remote prefix blocks pays the
+                    # wire time before its (shortened) re-prefill.
+                    if head.transfer_s_last:
+                        dt += head.transfer_s_last
                     advance(dt)
                     prefills.append(dt)
                     prefill_tokens.append(context - cached)
@@ -194,6 +222,11 @@ class ReferenceEngine:
                         dt = self.cost.prefill_seconds(
                             len(admitted), cohort_input
                         )
+                    # Remote prefix pulls serialize on the link ahead of
+                    # the fused prefill; each member's wire time adds up.
+                    transfer = sum(m.transfer_s_last for m in members)
+                    if transfer:
+                        dt += transfer
                     advance(dt)
                     prefills.append(dt)
                     prefill_tokens.append(cohort_input - cached)
@@ -297,6 +330,7 @@ class ReferenceEngine:
                 finished_s=r.finished_s,
                 preemptions=r.preemptions,
                 cached_tokens=r.cached_tokens,
+                remote_tokens=r.remote_tokens,
             )
             for r in sorted(finished, key=lambda r: r.timed.request_id)
         )
@@ -315,6 +349,9 @@ class ReferenceEngine:
             cache_hit_tokens=self.scheduler.cache_hit_tokens,
             cache_miss_tokens=self.scheduler.cache_miss_tokens,
             cache_evictions=self.scheduler.cache_evictions,
+            remote_hit_tokens=self.scheduler.remote_hit_tokens,
+            transferred_bytes=self.scheduler.transferred_bytes,
+            kv_transfers=self.scheduler.kv_transfers,
             depth=depth_sketch,
         )
 

@@ -27,7 +27,9 @@ from typing import TYPE_CHECKING
 
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
+from repro.serving.costs import DEFAULT_LINK_GBPS, IterationCostModel
 from repro.serving.engine import EngineTrace, ServingEngine
+from repro.serving.memory import MemoryModel, SharedPrefixTier
 from repro.serving.metrics import (
     DEFAULT_SKETCH_CAPACITY,
     DepthSketch,
@@ -47,6 +49,36 @@ from repro.serving.routing import (
 )
 from repro.serving.schedulers import build_scheduler
 from repro.workloads.requests import TimedRequest, Trace
+
+
+def _empty_record(
+    sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+) -> EngineTrace:
+    """The record a run that dispatched nothing produced.
+
+    Byte-for-byte what the bare engine serves for an empty trace (zero
+    span, no events, fresh depth sketch), so the 1-replica equivalence
+    holds even when there was nothing to route.
+    """
+    return EngineTrace(
+        timings=(),
+        iteration_seconds=(),
+        decode_tokens=(),
+        prefill_seconds=(),
+        prefill_tokens=(),
+        start_s=0.0,
+        end_s=0.0,
+        mean_queue_depth=0.0,
+        max_queue_depth=0,
+        preemptions=0,
+        cache_hit_tokens=0,
+        cache_miss_tokens=0,
+        cache_evictions=0,
+        remote_hit_tokens=0,
+        transferred_bytes=0.0,
+        kv_transfers=0,
+        depth=DepthSketch(sketch_capacity),
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,7 +171,10 @@ class ClusterTrace:
         """
         active = [t for t in self.replicas if t is not None]
         if not active:
-            raise ValueError("cluster run produced no replica traces")
+            # Empty trace: nothing was dispatched anywhere.  Fold to the
+            # bare engine's empty record, not an error, so the cluster
+            # and the engine agree on the degenerate input too.
+            return _empty_record()
         if len(active) == 1:
             return active[0]
         timings: list[RequestTiming] = [
@@ -173,6 +208,9 @@ class ClusterTrace:
             cache_hit_tokens=sum(t.cache_hit_tokens for t in active),
             cache_miss_tokens=sum(t.cache_miss_tokens for t in active),
             cache_evictions=sum(t.cache_evictions for t in active),
+            remote_hit_tokens=sum(t.remote_hit_tokens for t in active),
+            transferred_bytes=sum(t.transferred_bytes for t in active),
+            kv_transfers=sum(t.kv_transfers for t in active),
             depth=DepthSketch.merge(depths) if depths else None,
         )
 
@@ -285,9 +323,12 @@ class ClusterEngine:
             for i, engine in enumerate(self.replicas)
         )
         active = [s for s in stats if s is not None]
-        if not active:
-            raise ValueError("cluster run produced no replica stats")
-        merged = EngineStats.merge(active).report()
+        if active:
+            merged = EngineStats.merge(active).report()
+        else:
+            # Empty trace: same NaN-percentile report the bare engine's
+            # streaming path returns for an empty trace.
+            merged = _empty_record(sketch_capacity).stats().report()
         fields = {
             f.name: getattr(merged, f.name)
             for f in dataclasses.fields(ServingReport)
@@ -315,19 +356,33 @@ def build_cluster(
     block_size: int = 64,
     preempt: bool = True,
     affinity_key: AffinityKey | None = None,
+    cache: bool = True,
+    shared_tier: bool = False,
+    link_gbps: float = DEFAULT_LINK_GBPS,
 ) -> ClusterEngine:
     """A homogeneous cluster: ``n_replicas`` copies of one node design.
 
     Every replica gets its *own* scheduler instance (and therefore its own
     HBM reservation ledger under the ``memory`` policy and its own block
-    pool under ``paged`` — ``block_size``/``preempt`` are threaded through
-    to every replica's scheduler); the system cost model is shared because
-    pricing is pure.  The least-loaded router's
-    service-time estimate reuses replica 0's
+    pool under ``paged`` — ``block_size``/``preempt``/``cache`` are
+    threaded through to every replica's scheduler); the system cost model
+    is shared because pricing is pure.  The least-loaded and cache-aware
+    routers' estimates reuse replica 0's
     :class:`~repro.serving.costs.IterationCostModel` — one solo prefill
     plus ``output_len`` decode steps priced at the request's mid-generation
     context — so routing and execution can never disagree about costs.
+
+    ``shared_tier=True`` joins every replica's prefix pool to one
+    :class:`~repro.serving.memory.SharedPrefixTier`, pricing cross-replica
+    prefix pulls over a ``link_gbps`` interconnect; it requires the
+    ``prefix`` scheduler with its cache on.  Left ``False`` (the default)
+    every replica is bit-exact with a standalone engine.
     """
+    if shared_tier and (scheduler != "prefix" or not cache):
+        raise ValueError(
+            "a shared prefix tier needs the prefix scheduler with "
+            "cache=True (nothing else publishes session prefixes)"
+        )
     replicas = tuple(
         ServingEngine(
             system,
@@ -342,10 +397,19 @@ def build_cluster(
                 chunk_budget=chunk_budget,
                 block_size=block_size,
                 preempt=preempt,
+                cache=cache,
             ),
         )
         for _ in range(n_replicas)
     )
+    if shared_tier:
+        tier = SharedPrefixTier(
+            MemoryModel.for_system(system, spec),
+            block_size,
+            IterationCostModel(system, spec, link_gbps=link_gbps),
+        )
+        for i, engine in enumerate(replicas):
+            engine.scheduler.pool.attach_tier(tier, i)
 
     def service_time(request: TimedRequest) -> float:
         cost = replicas[0].cost
@@ -354,6 +418,11 @@ def build_cluster(
             1, request.input_len
         ) + request.output_len * cost.decode_seconds(1, mid_context)
 
+    def prefix_savings(hit_tokens: int) -> float:
+        # Prefill chunk costs telescope, so skipping a cached prefix of
+        # hit_tokens saves roughly its own solo-prefill time.
+        return replicas[0].cost.prefill_seconds(1, hit_tokens)
+
     return ClusterEngine(
         replicas,
         build_router(
@@ -361,5 +430,6 @@ def build_cluster(
             n_replicas,
             service_time=service_time,
             affinity_key=affinity_key,
+            prefix_savings=prefix_savings,
         ),
     )

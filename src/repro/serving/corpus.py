@@ -78,6 +78,9 @@ def trace_replay_slo(
     step_stride: int = 32,
     model: str = "Zamba2",
     scale: str = "small",
+    cache: bool = True,
+    shared_tier: bool = False,
+    link_gbps: float | None = None,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
 ) -> dict:
@@ -88,7 +91,10 @@ def trace_replay_slo(
     value — to its file.  When a hash is pinned it feeds the replay
     guard, so the cache can never serve metrics of an edited trace; a
     bare name (e.g. ``--set trace=bursty`` on the CLI) replays unguarded.
+    ``cache``/``shared_tier``/``link_gbps`` pass straight through to the
+    cluster builder (the ``cross_replica_prefix`` sweep sets them).
     """
+    from repro.serving.costs import DEFAULT_LINK_GBPS
     from repro.serving.experiments import cluster_slo
 
     name, _, sha = trace.partition("@")
@@ -103,6 +109,9 @@ def trace_replay_slo(
         step_stride=step_stride,
         model=model,
         scale=scale,
+        cache=cache,
+        shared_tier=shared_tier,
+        link_gbps=DEFAULT_LINK_GBPS if link_gbps is None else link_gbps,
         slo_ttft_s=slo_ttft_s,
         slo_tpot_s=slo_tpot_s,
         trace_file=str(path),

@@ -19,13 +19,31 @@ from __future__ import annotations
 from repro.models.config import ModelSpec
 from repro.perf.system import ServingSystem
 
+#: default inter-replica link bandwidth in gigabits per second — a single
+#: commodity 100 GbE NIC, deliberately far below NVLink-class fabrics so
+#: the transfer-vs-recompute decision stays a real decision.
+DEFAULT_LINK_GBPS = 100.0
+
 
 class IterationCostModel:
-    """Memoized prefill/decode pricing on one serving system."""
+    """Memoized prefill/decode pricing on one serving system.
 
-    def __init__(self, system: ServingSystem, spec: ModelSpec):
+    ``link_gbps`` prices cross-replica KV movement (the shared prefix
+    tier); it never enters prefill/decode pricing, so two models differing
+    only in link bandwidth price every iteration identically.
+    """
+
+    def __init__(
+        self,
+        system: ServingSystem,
+        spec: ModelSpec,
+        link_gbps: float = DEFAULT_LINK_GBPS,
+    ):
+        if link_gbps <= 0:
+            raise ValueError("link_gbps must be positive")
         self.system = system
         self.spec = spec
+        self.link_gbps = link_gbps
         self._decode: dict[tuple[int, int], float] = {}
         self._prefill: dict[tuple[int, int], float] = {}
 
@@ -60,6 +78,18 @@ class IterationCostModel:
         return self.prefill_seconds(batch, end) - self.prefill_seconds(
             batch, start
         )
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Wire time to move ``n_bytes`` of KV state between replicas.
+
+        A bandwidth-only model: latency and protocol overhead are folded
+        into the configured ``link_gbps`` rather than modeled separately,
+        which keeps the transfer-vs-recompute comparison monotone in
+        prefix length.
+        """
+        if n_bytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        return n_bytes * 8.0 / (self.link_gbps * 1e9)
 
     @property
     def n_priced_points(self) -> int:

@@ -105,6 +105,10 @@ class EngineTrace:
     cache_hit_tokens: int = 0
     cache_miss_tokens: int = 0
     cache_evictions: int = 0
+    #: shared-tier counters (all zero without a cross-replica tier)
+    remote_hit_tokens: int = 0
+    transferred_bytes: float = 0.0
+    kv_transfers: int = 0
     #: time-weighted queue-depth sketch (p50/p99); optional so that
     #: hand-built traces in tests stay valid without one
     depth: DepthSketch | None = None
@@ -133,6 +137,9 @@ class EngineTrace:
             cache_hit_tokens=self.cache_hit_tokens,
             cache_miss_tokens=self.cache_miss_tokens,
             cache_evictions=self.cache_evictions,
+            remote_hit_tokens=self.remote_hit_tokens,
+            transferred_bytes=self.transferred_bytes,
+            kv_transfers=self.kv_transfers,
         )
 
     def report(self) -> ServingReport:
@@ -221,6 +228,7 @@ class _StatsRecorder:
                 finished_s=request.finished_s,
                 preemptions=request.preemptions,
                 cached_tokens=request.cached_tokens,
+                remote_tokens=request.remote_tokens,
             )
         )
 
@@ -286,6 +294,7 @@ class ServingEngine:
                 finished_s=r.finished_s,
                 preemptions=r.preemptions,
                 cached_tokens=r.cached_tokens,
+                remote_tokens=r.remote_tokens,
             )
             for r in sorted(
                 recorder.finished, key=lambda r: r.timed.request_id
@@ -306,6 +315,9 @@ class ServingEngine:
             cache_hit_tokens=self.scheduler.cache_hit_tokens,
             cache_miss_tokens=self.scheduler.cache_miss_tokens,
             cache_evictions=self.scheduler.cache_evictions,
+            remote_hit_tokens=self.scheduler.remote_hit_tokens,
+            transferred_bytes=self.scheduler.transferred_bytes,
+            kv_transfers=self.scheduler.kv_transfers,
             depth=depth,
         )
 
@@ -343,6 +355,9 @@ class ServingEngine:
             cache_hit_tokens=self.scheduler.cache_hit_tokens,
             cache_miss_tokens=self.scheduler.cache_miss_tokens,
             cache_evictions=self.scheduler.cache_evictions,
+            remote_hit_tokens=self.scheduler.remote_hit_tokens,
+            transferred_bytes=self.scheduler.transferred_bytes,
+            kv_transfers=self.scheduler.kv_transfers,
         )
 
     def run(
@@ -370,6 +385,12 @@ class ServingEngine:
         preempted: list[RunningRequest] = []
         cohorts: collections.deque[_PrefillCohort] = collections.deque()
         preemptions = 0
+
+        if not pending:
+            # An empty trace serves to an empty record: zero span, no
+            # events, the NaN-percentile report — exactly what one
+            # replica of a cluster that routed it nothing produces.
+            return 0.0, 0.0, 0.0, 0, 0, DepthSketch(sketch_capacity)
 
         start = pending[0].arrival_s
         clock = start
@@ -458,6 +479,10 @@ class ServingEngine:
                         )
                     else:
                         dt = self.cost.prefill_seconds(1, context)
+                    # A restore that pulled remote prefix blocks pays the
+                    # wire time before its (shortened) re-prefill.
+                    if head.transfer_s_last:
+                        dt += head.transfer_s_last
                     t0 = clock
                     advance(dt)
                     rec.prefill(dt, context - cached)
@@ -471,6 +496,8 @@ class ServingEngine:
                             self.scheduler.cache_hit_tokens,
                             self.scheduler.cache_miss_tokens,
                             self.scheduler.cache_evictions,
+                            self.scheduler.remote_hit_tokens,
+                            self.scheduler.transferred_bytes,
                         )
                     continue
                 admitted_n = 0
@@ -508,6 +535,11 @@ class ServingEngine:
                         dt = self.cost.prefill_seconds(
                             len(admitted), cohort_input
                         )
+                    # Remote prefix pulls serialize on the link ahead of
+                    # the fused prefill; each member's wire time adds up.
+                    transfer = sum(m.transfer_s_last for m in members)
+                    if transfer:
+                        dt += transfer
                     advance(dt)
                     rec.prefill(dt, cohort_input - cached)
                     if tel:
@@ -526,6 +558,8 @@ class ServingEngine:
                         self.scheduler.cache_hit_tokens,
                         self.scheduler.cache_miss_tokens,
                         self.scheduler.cache_evictions,
+                        self.scheduler.remote_hit_tokens,
+                        self.scheduler.transferred_bytes,
                     )
                 continue
 
@@ -578,6 +612,8 @@ class ServingEngine:
                         self.scheduler.cache_hit_tokens,
                         self.scheduler.cache_miss_tokens,
                         self.scheduler.cache_evictions,
+                        self.scheduler.remote_hit_tokens,
+                        self.scheduler.transferred_bytes,
                     )
                 continue
 
@@ -656,6 +692,8 @@ class ServingEngine:
                         self.scheduler.cache_hit_tokens,
                         self.scheduler.cache_miss_tokens,
                         self.scheduler.cache_evictions,
+                        self.scheduler.remote_hit_tokens,
+                        self.scheduler.transferred_bytes,
                     )
                 continue
 
@@ -685,6 +723,8 @@ class ServingEngine:
                                 self.scheduler.cache_hit_tokens,
                                 self.scheduler.cache_miss_tokens,
                                 self.scheduler.cache_evictions,
+                                self.scheduler.remote_hit_tokens,
+                                self.scheduler.transferred_bytes,
                             )
                         continue
                 batch, seq = self.scheduler.iteration_shape(running)
@@ -707,6 +747,8 @@ class ServingEngine:
                         self.scheduler.cache_hit_tokens,
                         self.scheduler.cache_miss_tokens,
                         self.scheduler.cache_evictions,
+                        self.scheduler.remote_hit_tokens,
+                        self.scheduler.transferred_bytes,
                     )
                 continue
 
@@ -719,6 +761,8 @@ class ServingEngine:
                         self.scheduler.cache_hit_tokens,
                         self.scheduler.cache_miss_tokens,
                         self.scheduler.cache_evictions,
+                        self.scheduler.remote_hit_tokens,
+                        self.scheduler.transferred_bytes,
                     )
                 continue
 

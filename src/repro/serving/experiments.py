@@ -67,9 +67,10 @@ from repro.serving.arrivals import (
     multiturn_chat_trace,
     poisson_trace,
 )
-from repro.serving import corpus as _corpus  # noqa: F401  (registers sweep)
+from repro.serving import corpus as _corpus
 from repro.serving._reference import ReferenceEngine
 from repro.serving.cluster import build_cluster
+from repro.serving.costs import DEFAULT_LINK_GBPS
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import SloSpec
 from repro.serving.routing import ROUTER_NAMES
@@ -192,6 +193,7 @@ def build_serving_engine(
     chunk_budget: int = 256,
     block_size: int = 64,
     preempt: bool = True,
+    cache: bool = True,
 ) -> ServingEngine:
     """One configured engine, exactly as the ``serving_slo`` trial builds it.
 
@@ -211,6 +213,7 @@ def build_serving_engine(
         chunk_budget=chunk_budget,
         block_size=block_size,
         preempt=preempt,
+        cache=cache,
     )
     return ServingEngine(serving, spec, policy)
 
@@ -236,6 +239,7 @@ def serving_slo(
     chunk_budget: int = 256,
     block_size: int = 64,
     preempt: bool = True,
+    cache: bool = True,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -255,7 +259,7 @@ def serving_slo(
     """
     engine = build_serving_engine(
         system, model, scale, scheduler, max_batch, step_stride,
-        capacity_gib, chunk_budget, block_size, preempt,
+        capacity_gib, chunk_budget, block_size, preempt, cache,
     )
     trace = build_arrival_trace(
         qps, n_requests, seed, arrival, cv, length_dist,
@@ -350,6 +354,9 @@ def cluster_slo(
     chunk_budget: int = 256,
     block_size: int = 64,
     preempt: bool = True,
+    cache: bool = True,
+    shared_tier: bool = False,
+    link_gbps: float = DEFAULT_LINK_GBPS,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     trace_file: str | None = None,
@@ -361,7 +368,9 @@ def cluster_slo(
     identical request stream as :func:`serving_slo`, so cluster curves
     overlay single-node ones directly — and ``replicas=1`` reproduces the
     bare engine bit-for-bit under every router (the merge is the identity
-    for one replica; the equivalence is tested).
+    for one replica; the equivalence is tested).  ``shared_tier=True``
+    (prefix scheduler only) joins the replicas' prefix pools into one
+    cross-replica tier with KV pulls priced over ``link_gbps``.
     """
     spec = spec_for(model, scale)
     serving = build_system(SystemKind(system), scale)
@@ -381,6 +390,9 @@ def cluster_slo(
         chunk_budget=chunk_budget,
         block_size=block_size,
         preempt=preempt,
+        cache=cache,
+        shared_tier=shared_tier,
+        link_gbps=link_gbps,
     )
     report = cluster.run(trace)
     return report.to_payload(SloSpec(ttft_s=slo_ttft_s, tpot_s=slo_tpot_s))
@@ -731,6 +743,102 @@ def prefix_reuse_render(data: dict) -> tuple[list[str], list[list]]:
     return header, rows
 
 
+#: replica axis of the cross-replica prefix figure (1 is the anchor where
+#: every router is the identity and the tier has nobody to talk to)
+CROSS_REPLICA_GRID = (1, 2, 4)
+
+#: the cross-replica sweep replays the shipped multi-turn corpus on
+#: single-request replicas under a tight TTFT SLO, so one replica misses
+#: the SLO on half the turns and the knee sits at two: there, a router
+#: that scatters a session's turns (round-robin) recomputes or transfers
+#: history every turn, affinity keeps sessions warm but ignores load
+#: (its hash leaves one replica oversubscribed), and cache-aware trades
+#: the two explicitly — which is exactly where it wins the face-off
+CROSS_REPLICA_LOAD = dict(
+    system="Pimba",
+    scheduler="prefix",
+    shared_tier=True,
+    max_batch=1,
+    slo_ttft_s=0.1,
+)
+
+#: the router face-off of the cross-replica figure
+CROSS_REPLICA_ROUTERS = ("round-robin", "affinity", "cache-aware")
+
+
+@sweep("cross_replica_prefix")
+def cross_replica_prefix_spec(smoke: bool = False) -> ExperimentSpec:
+    """Cross-replica prefix reuse: router face-off over the shared tier.
+
+    Every cell replays the pinned multi-turn chat corpus on a prefix
+    cluster whose pools share one :class:`SharedPrefixTier`: round-robin
+    scatters each session's turns and leans on priced KV transfers,
+    affinity pins sessions (cold only on rebalance — never here, but
+    also blind to load), and cache-aware folds cache warmth into the
+    backlog estimate, migrating sessions exactly when the backlog gap
+    outweighs the prefix.  The ``cluster_prefix_cache_hit_rate`` the
+    perf gate watches is this sweep's ``prefix_cache_hit_rate`` column.
+    """
+    if smoke:
+        return ExperimentSpec(
+            name="cross_replica_prefix",
+            trial_fn="trace_replay_slo",
+            axes={
+                "router": ("round-robin", "cache-aware"),
+                "replicas": (2,),
+            },
+            fixed={
+                **CROSS_REPLICA_LOAD,
+                "trace": _corpus.pinned_trace("multiturn"),
+            },
+        )
+    return ExperimentSpec(
+        name="cross_replica_prefix",
+        trial_fn="trace_replay_slo",
+        axes={
+            "router": CROSS_REPLICA_ROUTERS,
+            "replicas": CROSS_REPLICA_GRID,
+        },
+        fixed={
+            **CROSS_REPLICA_LOAD,
+            "trace": _corpus.pinned_trace("multiturn"),
+        },
+    )
+
+
+def cross_replica_prefix_assemble(report: RunReport) -> dict:
+    """Reshape to ``{router: [(replicas, payload), ...]}`` in grid order."""
+    out: dict = {}
+    mapping = report.mapping("router", "replicas")
+    for (router, replicas), value in mapping.items():
+        out.setdefault(router, []).append((replicas, value))
+    return out
+
+
+def cross_replica_prefix_render(data: dict) -> tuple[list[str], list[list]]:
+    header = [
+        "router", "replicas", "goodput (req/s)", "SLO attainment",
+        "ttft p99 (s)", "hit rate", "remote hit tokens",
+        "transferred (MiB)", "transfers", "load imbalance",
+    ]
+    rows = []
+    for router, points in data.items():
+        for replicas, m in points:
+            rows.append([
+                router,
+                replicas,
+                m.get("goodput_rps", float("nan")),
+                m.get("slo_attainment", float("nan")),
+                m["ttft_p99_s"],
+                m.get("prefix_cache_hit_rate", 0.0),
+                m.get("remote_hit_tokens", 0),
+                m.get("transferred_bytes", 0.0) / 2**20,
+                m.get("kv_transfers", 0),
+                m["load_imbalance"],
+            ])
+    return header, rows
+
+
 def preemption_tradeoff_assemble(report: RunReport) -> dict:
     """Reshape to ``{scheduler: [(qps, payload), ...]}`` in grid order."""
     out: dict = {}
@@ -781,6 +889,7 @@ def serving_timeline(
     chunk_budget: int = 256,
     block_size: int = 64,
     preempt: bool = True,
+    cache: bool = True,
     slo_ttft_s: float = 2.0,
     slo_tpot_s: float = 0.018,
     n_windows: int = 8,
@@ -800,7 +909,7 @@ def serving_timeline(
     """
     engine = build_serving_engine(
         system, model, scale, scheduler, max_batch, step_stride,
-        capacity_gib, chunk_budget, block_size, preempt,
+        capacity_gib, chunk_budget, block_size, preempt, cache,
     )
     trace = build_arrival_trace(
         qps, n_requests, seed, arrival, cv, length_dist,
@@ -862,7 +971,7 @@ def collect_timeline(
         engine = build_serving_engine(
             p["system"], p["model"], p["scale"], p["scheduler"],
             p["max_batch"], p["step_stride"], p["capacity_gib"],
-            p["chunk_budget"], p["block_size"], p["preempt"],
+            p["chunk_budget"], p["block_size"], p["preempt"], p["cache"],
         )
         report = engine.run(trace, collector=collector)
     else:
@@ -882,6 +991,9 @@ def collect_timeline(
             chunk_budget=p["chunk_budget"],
             block_size=p["block_size"],
             preempt=p["preempt"],
+            cache=p["cache"],
+            shared_tier=p["shared_tier"],
+            link_gbps=p["link_gbps"],
         )
         report = cluster.run(trace, collector=collector)
     return collector.timeline, slo, report.to_payload(slo)

@@ -438,6 +438,21 @@ class PrefixBlockPool(BlockPool):
     ):
         super().__init__(memory, capacity_bytes, block_size)
         self.cache = PrefixCache(memory, block_size)
+        #: shared cross-replica tier, attached by the cluster builder
+        self.tier: SharedPrefixTier | None = None
+        #: this pool's replica index within the tier (meaningless otherwise)
+        self.replica = 0
+        #: lifetime prefill tokens served by pulling remote KV
+        self.remote_hit_tokens = 0
+        #: lifetime KV bytes pulled over the link into this pool
+        self.transferred_bytes = 0.0
+        #: lifetime remote pulls (each covers one contiguous block range)
+        self.kv_transfers = 0
+
+    def attach_tier(self, tier: "SharedPrefixTier", replica: int) -> None:
+        """Join a cluster-wide shared prefix tier as ``replica``."""
+        self.tier = tier
+        self.replica = replica
 
     @property
     def free_bytes(self) -> float:
@@ -450,15 +465,27 @@ class PrefixBlockPool(BlockPool):
         context: int,
         final_context: int,
         prefill_tokens: int,
-    ) -> int:
+        now: float | None = None,
+    ) -> tuple[int, int, float]:
         """Allocate like :meth:`allocate`, reusing cached prefix blocks.
 
         ``prefill_tokens`` is the prefill the engine is about to price
         (the prompt at admission, prompt + generated at restore); the
-        cached prefix shortens it.  Returns the hit tokens so the
-        scheduler can pass them to the engine's pricing.
+        cached prefix shortens it.  When a shared tier is attached and
+        ``now`` (the simulated clock) is given, a longer prefix published
+        by another replica may be pulled over the link first — the pulled
+        blocks land in the local cache and are pinned and charged exactly
+        like locally produced ones.  Returns ``(hit_tokens,
+        remote_tokens, transfer_s)`` so the scheduler can hand the
+        engine both the shortened prefill and the wire time to serialize
+        before it.
         """
         hit_blocks = self.cache.match(session_id, prefill_tokens)
+        remote_tokens, transfer_s = 0, 0.0
+        if self.tier is not None and now is not None:
+            hit_blocks, remote_tokens, transfer_s = self.tier.resolve(
+                self, session_id, prefill_tokens, hit_blocks, now
+            )
         hit_tokens = hit_blocks * self.block_size
         # Pin before allocating: the allocation's trim may otherwise
         # reclaim the very blocks just matched under a tight pool.
@@ -468,7 +495,12 @@ class PrefixBlockPool(BlockPool):
         )
         self.cache.hit_tokens += hit_tokens
         self.cache.miss_tokens += prefill_tokens - hit_tokens
-        return hit_tokens
+        if remote_tokens:
+            self.remote_hit_tokens += remote_tokens
+            # Same payload arithmetic the tier priced the wire time on.
+            self.transferred_bytes += self.memory.reserved_bytes(remote_tokens)
+            self.kv_transfers += 1
+        return hit_tokens, remote_tokens, transfer_s
 
     def allocate(
         self,
@@ -490,9 +522,18 @@ class PrefixBlockPool(BlockPool):
         super().release(request_id)
         self.cache.release(request_id)
 
-    def publish(self, session_id: int, history_tokens: int) -> None:
-        """Publish a completed request's session history to the cache."""
+    def publish(
+        self, session_id: int, history_tokens: int, at: float | None = None
+    ) -> None:
+        """Publish a completed request's session history to the cache.
+
+        With a shared tier attached and a completion clock ``at``, the
+        history is also advertised fleet-wide so other replicas can pull
+        it later.
+        """
         self.cache.publish(session_id, history_tokens)
+        if self.tier is not None and at is not None:
+            self.tier.publish(self.replica, session_id, history_tokens, at)
         self._trim()
 
     def _trim(self) -> None:
@@ -507,3 +548,111 @@ class PrefixBlockPool(BlockPool):
         free = self.free_bytes
         while self.cache.cached_bytes > free and self.cache.evict_lru():
             pass
+
+
+class SharedPrefixTier:
+    """A cluster-wide directory of published session prefixes.
+
+    One tier is shared by every replica's :class:`PrefixBlockPool` in a
+    cluster.  When a replica completes a session turn it advertises the
+    session's block-aligned history here (:meth:`publish`, stamped with
+    the completion clock); when another replica later admits a turn of
+    the same session it may *pull* the remote prefix (:meth:`resolve`)
+    instead of recomputing it — but only when the wire time of moving
+    the KV bytes beats the prefill increment it replaces, both priced
+    through the same :class:`~repro.serving.costs.IterationCostModel`
+    the engine uses.  Pulled blocks are materialized into the
+    destination pool's local cache and from then on are pinned, charged,
+    trimmed, and evicted exactly like locally produced blocks.
+
+    Two deliberate modeling choices keep the simulation deterministic:
+
+    * **Causality by clock**: replicas simulate in index order, each on
+      the shared trace-time axis, so a publish is visible to a lookup
+      only when its completion clock is at or before the lookup's clock.
+    * **Conservative visibility**: a replica only sees publishes from
+      replicas that simulated *before* it (lower index).  Real fleets
+      transfer in both directions; this one-directional view undercounts
+      remote hits rather than inventing causality-violating ones, and it
+      is what makes serial and process-pool runs bit-identical.
+    """
+
+    def __init__(self, memory: MemoryModel, block_size: int, cost):
+        self.memory = memory
+        self.block_size = block_size
+        self.cost = cost
+        #: session_id -> (replica, block-aligned history tokens, publish clock)
+        self._published: dict[int, tuple[int, int, float]] = {}
+        #: lifetime pulls that went over the wire
+        self.transfers = 0
+        #: lifetime lookups where a longer remote prefix existed but
+        #: recomputing the suffix was cheaper than moving it
+        self.recomputes = 0
+
+    @property
+    def n_sessions(self) -> int:
+        """Sessions with at least one published prefix."""
+        return len(self._published)
+
+    def publish(
+        self, replica: int, session_id: int, history_tokens: int, at: float
+    ) -> None:
+        """Advertise a session's history; the longest prefix wins.
+
+        Ties go to the most recent publisher, so a session that migrates
+        replicas keeps its directory entry pointing at warm KV.
+        """
+        tokens = (history_tokens // self.block_size) * self.block_size
+        if tokens < self.block_size:
+            return
+        entry = self._published.get(session_id)
+        if entry is not None and entry[1] > tokens:
+            return
+        self._published[session_id] = (replica, tokens, at)
+
+    def resolve(
+        self,
+        pool: PrefixBlockPool,
+        session_id: int,
+        prefill_tokens: int,
+        local_blocks: int,
+        now: float,
+    ) -> tuple[int, int, float]:
+        """Decide transfer vs recompute for one admission.
+
+        Returns ``(hit_blocks, remote_tokens, transfer_s)``: the prefix
+        blocks the caller may treat as cached, how many of those tokens
+        were pulled over the wire, and the wire seconds to charge before
+        the remaining prefill.  Identity (``local_blocks, 0, 0.0``) when
+        no visible remote prefix extends the local one or recompute wins.
+        """
+        entry = self._published.get(session_id)
+        if entry is None:
+            return local_blocks, 0, 0.0
+        replica, history_tokens, published_s = entry
+        if replica == pool.replica or published_s > now:
+            return local_blocks, 0, 0.0
+        # Same cap as the local match: never share the final prompt token.
+        cap = (prefill_tokens - 1) // self.block_size
+        remote_blocks = min(history_tokens // self.block_size, cap)
+        if remote_blocks <= local_blocks:
+            return local_blocks, 0, 0.0
+        extra_tokens = (remote_blocks - local_blocks) * self.block_size
+        # The payload is a resident prefix, not bare KV: the pulled range
+        # arrives with the context-invariant state snapshot that lets the
+        # destination resume from it, so it is priced at reserved_bytes.
+        transfer_s = self.cost.transfer_seconds(
+            self.memory.reserved_bytes(extra_tokens)
+        )
+        recompute_s = self.cost.chunk_prefill_seconds(
+            1, local_blocks * self.block_size, remote_blocks * self.block_size
+        )
+        if transfer_s >= recompute_s:
+            self.recomputes += 1
+            return local_blocks, 0, 0.0
+        # Materialize the pulled range into the destination cache; the
+        # caller pins it immediately, so the pool's own trim cannot
+        # reclaim it before the allocation lands.
+        pool.cache.publish(session_id, remote_blocks * self.block_size)
+        self.transfers += 1
+        return remote_blocks, extra_tokens, transfer_s

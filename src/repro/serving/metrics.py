@@ -60,6 +60,9 @@ class RequestTiming:
     #: prompt tokens served from a prefix cache instead of recomputed
     #: (0 for every scheduler without one)
     cached_tokens: int = 0
+    #: the subset of :attr:`cached_tokens` pulled from another replica
+    #: through the shared prefix tier (0 without a tier)
+    remote_tokens: int = 0
 
     def __post_init__(self) -> None:
         if not (
@@ -127,7 +130,7 @@ class RequestStats:
 
     __slots__ = (
         "capacity", "count", "rows", "prompt_tokens", "generated_tokens",
-        "cached_tokens", "_rng",
+        "cached_tokens", "remote_tokens", "_rng",
     )
 
     def __init__(self, capacity: int = DEFAULT_SKETCH_CAPACITY):
@@ -140,6 +143,7 @@ class RequestStats:
         self.prompt_tokens = 0
         self.generated_tokens = 0
         self.cached_tokens = 0
+        self.remote_tokens = 0
         self._rng = random.Random(_SKETCH_SEED)
 
     @property
@@ -157,6 +161,7 @@ class RequestStats:
         self.prompt_tokens += timing.input_len
         self.generated_tokens += timing.output_len
         self.cached_tokens += timing.cached_tokens
+        self.remote_tokens += timing.remote_tokens
         self.count += 1
         row = (timing.ttft_s, timing.tpot_s, timing.e2e_s)
         if len(self.rows) < self.capacity:
@@ -222,6 +227,7 @@ class RequestStats:
         merged.prompt_tokens = sum(p.prompt_tokens for p in parts)
         merged.generated_tokens = sum(p.generated_tokens for p in parts)
         merged.cached_tokens = sum(p.cached_tokens for p in parts)
+        merged.remote_tokens = sum(p.remote_tokens for p in parts)
         if sum(len(p.rows) for p in parts) <= capacity:
             for p in parts:
                 merged.rows.extend(p.rows)
@@ -251,6 +257,7 @@ class RequestStats:
             self.prompt_tokens,
             self.generated_tokens,
             self.cached_tokens,
+            self.remote_tokens,
             sorted(self.rows),
         ) == (
             other.capacity,
@@ -258,6 +265,7 @@ class RequestStats:
             other.prompt_tokens,
             other.generated_tokens,
             other.cached_tokens,
+            other.remote_tokens,
             sorted(other.rows),
         )
 
@@ -412,6 +420,10 @@ class ServingReport:
     cache_hit_tokens: int = dataclasses.field(default=0, kw_only=True)
     cache_miss_tokens: int = dataclasses.field(default=0, kw_only=True)
     cache_evictions: int = dataclasses.field(default=0, kw_only=True)
+    #: shared-tier counters (all zero without a cross-replica tier)
+    remote_hit_tokens: int = dataclasses.field(default=0, kw_only=True)
+    transferred_bytes: float = dataclasses.field(default=0.0, kw_only=True)
+    kv_transfers: int = dataclasses.field(default=0, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.stats.n and self.makespan_s <= 0:
@@ -497,6 +509,16 @@ class ServingReport:
             return 0.0
         return self.cache_hit_tokens / total
 
+    @property
+    def remote_prefix_hit_rate(self) -> float:
+        """Fraction of cache-priced prompt tokens pulled from a remote
+        replica through the shared tier (a sub-rate of
+        :attr:`prefix_cache_hit_rate`; 0.0 without a tier)."""
+        total = self.cache_hit_tokens + self.cache_miss_tokens
+        if total == 0:
+            return 0.0
+        return self.remote_hit_tokens / total
+
     # -- SLO-conditioned metrics ----------------------------------------------
 
     def slo_attainment(self, slo: SloSpec) -> float:
@@ -544,6 +566,12 @@ class ServingReport:
             payload["cache_miss_tokens"] = self.cache_miss_tokens
             payload["cache_evictions"] = self.cache_evictions
             payload["prefix_cache_hit_rate"] = self.prefix_cache_hit_rate
+        if self.remote_hit_tokens or self.kv_transfers:
+            # Conditional again: only shared-tier runs grow these keys.
+            payload["remote_hit_tokens"] = self.remote_hit_tokens
+            payload["transferred_bytes"] = self.transferred_bytes
+            payload["kv_transfers"] = self.kv_transfers
+            payload["remote_prefix_hit_rate"] = self.remote_prefix_hit_rate
         if slo is not None:
             payload["slo_ttft_s"] = slo.ttft_s
             payload["slo_tpot_s"] = slo.tpot_s
@@ -574,6 +602,9 @@ class EngineStats:
     cache_hit_tokens: int = 0
     cache_miss_tokens: int = 0
     cache_evictions: int = 0
+    remote_hit_tokens: int = 0
+    transferred_bytes: float = 0.0
+    kv_transfers: int = 0
 
     @property
     def makespan_s(self) -> float:
@@ -592,6 +623,9 @@ class EngineStats:
             cache_hit_tokens=self.cache_hit_tokens,
             cache_miss_tokens=self.cache_miss_tokens,
             cache_evictions=self.cache_evictions,
+            remote_hit_tokens=self.remote_hit_tokens,
+            transferred_bytes=self.transferred_bytes,
+            kv_transfers=self.kv_transfers,
         )
 
     @classmethod
@@ -627,4 +661,7 @@ class EngineStats:
             cache_hit_tokens=sum(p.cache_hit_tokens for p in parts),
             cache_miss_tokens=sum(p.cache_miss_tokens for p in parts),
             cache_evictions=sum(p.cache_evictions for p in parts),
+            remote_hit_tokens=sum(p.remote_hit_tokens for p in parts),
+            transferred_bytes=sum(p.transferred_bytes for p in parts),
+            kv_transfers=sum(p.kv_transfers for p in parts),
         )

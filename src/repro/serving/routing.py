@@ -3,7 +3,7 @@
 A router is the piece of a data-parallel serving fleet that the paper's
 single-node evaluation never exercises: every arriving request must be
 pinned to one replica *before* that replica's scheduler sees it, and the
-choice shapes queueing on every node downstream.  Three classic policies:
+choice shapes queueing on every node downstream.  Four policies:
 
 * :class:`RoundRobinRouter` — rotate through replicas; perfectly fair in
   request count, blind to request size and replica backlog.
@@ -14,10 +14,15 @@ choice shapes queueing on every node downstream.  Three classic policies:
   engines, so the router never re-derives costs) applied to a virtual
   single-server queue per replica.
 * :class:`AffinityRouter` — consistent hashing of a per-request key.  The
-  default key is the request id (a stand-in for a session id), so a
-  session's turns always land on the replica that holds its prefix/KV
-  state; keying on ``input_len`` instead groups identically-shaped
-  prompts, a proxy for prefix-cache sharing.
+  default key is the *session id when the request has one* (falling back
+  to the request id for sessionless traffic), so a session's turns all
+  land on the replica that holds its prefix/KV state; a custom key (e.g.
+  ``input_len``) instead groups identically-shaped prompts.
+* :class:`CacheAwareRouter` — least-outstanding backlog in *seconds*,
+  minus a cache-warmth credit (estimated prefix-hit tokens times the
+  per-token prefill savings) on the replica that last served the
+  session — so load balancing and prefix locality are traded off in one
+  unit instead of fighting each other.
 
 Routers are deliberately *stateful but seed-free*: given the same trace,
 any router produces the same assignment on every run and in every worker
@@ -37,6 +42,10 @@ ServiceTimeEstimate = Callable[[TimedRequest], float]
 
 #: extracts the affinity key of a request (hashed to pick a replica)
 AffinityKey = Callable[[TimedRequest], object]
+
+#: seconds of prefill a replica saves by reusing ``hit_tokens`` of
+#: cached prefix (the cluster wires in the engines' own cost model)
+PrefixSavingsEstimate = Callable[[int], float]
 
 
 class Router(abc.ABC):
@@ -164,6 +173,16 @@ def _canonical_key_bytes(value: object) -> bytes:
     )
 
 
+def _default_affinity_key(request: TimedRequest) -> object:
+    """Session id when present, request id otherwise.
+
+    A plain module-level function (not a lambda) so routers stay
+    picklable for process-pool experiment runners.
+    """
+    session = request.session_id
+    return session if session is not None else request.request_id
+
+
 class AffinityRouter(Router):
     """Consistent hashing of a per-request key onto the replica ring.
 
@@ -178,7 +197,12 @@ class AffinityRouter(Router):
 
     def __init__(self, n_replicas: int, key: AffinityKey | None = None):
         super().__init__(n_replicas)
-        self.key = key if key is not None else (lambda r: r.request_id)
+        # Session id first, request id as the sessionless fallback: the
+        # old request-id-only default hashed every *turn* of a session to
+        # a different replica, which silently destroyed cluster-level
+        # prefix locality (sessionless traces hash identically either
+        # way, so fixing it cost no existing assignment).
+        self.key = key if key is not None else _default_affinity_key
 
     def choose(self, request: TimedRequest) -> int:
         digest = hashlib.sha256(
@@ -187,11 +211,94 @@ class AffinityRouter(Router):
         return int.from_bytes(digest[:8], "big") % self.n_replicas
 
 
+class CacheAwareRouter(LeastOutstandingRouter):
+    """Least-outstanding backlog in seconds, minus a cache-warmth credit.
+
+    Each replica keeps the parent's virtual single-server queue, but the
+    score compared across replicas is the predicted backlog *in seconds*
+    (``busy_until - now``) rather than a request count — so warmth can be
+    subtracted in the same unit: for the replica that last served the
+    request's session, the score drops by the estimated prefix-hit
+    tokens priced through ``prefix_savings`` (the cluster wires in the
+    engines' own prefill cost).  A session therefore sticks to its warm
+    replica until the backlog gap exceeds what the cached prefix is
+    worth, at which point the router deliberately moves it — and with a
+    shared prefix tier downstream, the move lands warm via a priced KV
+    transfer instead of cold.
+
+    Session history is tracked from the router's own decisions (replica
+    and cumulative conversation tokens after each routed turn): a front
+    end knows what it routed, not what the engines cached — the same
+    information asymmetry the other routers live with.  Sessionless
+    requests score with zero warmth everywhere, i.e. plain seconds-based
+    least-outstanding routing.
+    """
+
+    name = "cache-aware"
+
+    def __init__(
+        self,
+        n_replicas: int,
+        service_time: ServiceTimeEstimate,
+        prefix_savings: PrefixSavingsEstimate | None = None,
+    ):
+        super().__init__(n_replicas, service_time)
+        self.prefix_savings = prefix_savings
+        #: session_id -> (replica of the last turn, conversation tokens)
+        self._sessions: dict[object, tuple[int, int]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._sessions = {}
+
+    def _warmth_s(self, request: TimedRequest, replica: int) -> float:
+        session = request.session_id
+        if session is None or self.prefix_savings is None:
+            return 0.0
+        home = self._sessions.get(session)
+        if home is None or home[0] != replica:
+            return 0.0
+        # A prefix hit can never cover the whole prompt (the final token
+        # is always computed) — mirror the cache's own cap.
+        hit_tokens = min(home[1], request.input_len - 1)
+        if hit_tokens < 1:
+            return 0.0
+        return self.prefix_savings(hit_tokens)
+
+    def choose(self, request: TimedRequest) -> int:
+        now = request.arrival_s
+        replica = min(
+            range(self.n_replicas),
+            key=lambda i: (
+                max(self._busy_until[i] - now, 0.0) - self._warmth_s(
+                    request, i
+                ),
+                i,
+            ),
+        )
+        # Keep the parent's queue bookkeeping (outstanding() also prunes
+        # the in-flight list, bounding its growth).
+        self.outstanding(replica, now)
+        begin = max(now, self._busy_until[replica])
+        finish = begin + self.service_time(request)
+        self._busy_until[replica] = finish
+        self._in_flight[replica].append(finish)
+        session = request.session_id
+        if session is not None:
+            # After this turn the conversation history the next turn
+            # could reuse is everything sent plus everything generated.
+            self._sessions[session] = (
+                replica, request.input_len + request.output_len
+            )
+        return replica
+
+
 #: router names accepted by :func:`build_router`, in presentation order
 ROUTER_NAMES: tuple[str, ...] = (
     RoundRobinRouter.name,
     LeastOutstandingRouter.name,
     AffinityRouter.name,
+    CacheAwareRouter.name,
 )
 
 
@@ -200,11 +307,14 @@ def build_router(
     n_replicas: int,
     service_time: ServiceTimeEstimate | None = None,
     affinity_key: AffinityKey | None = None,
+    prefix_savings: PrefixSavingsEstimate | None = None,
 ) -> Router:
     """Construct a router by registry name.
 
-    ``least-loaded`` requires ``service_time`` (the cluster passes its
-    engines' cost model); the other policies ignore it.
+    ``least-loaded`` and ``cache-aware`` require ``service_time`` (the
+    cluster passes its engines' cost model); the other policies ignore
+    it.  ``cache-aware`` additionally accepts ``prefix_savings`` — left
+    ``None`` it degrades to seconds-based least-outstanding routing.
     """
     if name == RoundRobinRouter.name:
         return RoundRobinRouter(n_replicas)
@@ -216,6 +326,14 @@ def build_router(
         return LeastOutstandingRouter(n_replicas, service_time)
     if name == AffinityRouter.name:
         return AffinityRouter(n_replicas, key=affinity_key)
+    if name == CacheAwareRouter.name:
+        if service_time is None:
+            raise ValueError(
+                "the cache-aware router needs a service_time estimate"
+            )
+        return CacheAwareRouter(
+            n_replicas, service_time, prefix_savings=prefix_savings
+        )
     raise KeyError(
         f"unknown router {name!r}; available: {', '.join(ROUTER_NAMES)}"
     )

@@ -94,6 +94,15 @@ class RunningRequest:
     #: subtracts from the prefill it is about to price (reset per
     #: admission/restore by the caching scheduler; 0 for everyone else)
     cache_hit_last: int = 0
+    #: lifetime prefix tokens pulled from *another replica* through the
+    #: shared tier (a subset of :attr:`cached_tokens`; 0 without a tier)
+    remote_tokens: int = 0
+    #: remote share of :attr:`cache_hit_last` for the latest allocation
+    remote_hit_last: int = 0
+    #: wire seconds the latest allocation's remote pull costs — the
+    #: engine serializes this ahead of the prefill it prices (reset per
+    #: admission/restore; 0.0 whenever nothing moved)
+    transfer_s_last: float = 0.0
 
     @property
     def input_len(self) -> int:
@@ -254,6 +263,21 @@ class Scheduler(abc.ABC):
     @property
     def cache_evictions(self) -> int:
         """Lifetime cached blocks reclaimed to make room for live KV."""
+        return 0
+
+    @property
+    def remote_hit_tokens(self) -> int:
+        """Lifetime prefill tokens pulled from another replica's cache."""
+        return 0
+
+    @property
+    def transferred_bytes(self) -> float:
+        """Lifetime KV bytes pulled over the inter-replica link."""
+        return 0.0
+
+    @property
+    def kv_transfers(self) -> int:
+        """Lifetime cross-replica prefix pulls."""
         return 0
 
     def iteration_shape(
@@ -735,18 +759,26 @@ class PrefixCachingScheduler(PagedScheduler):
         )
         final = r.input_len + r.output_len
         if self._reusable(r):
-            hit = self.pool.allocate_reusing(
+            # The admission clock doubles as the tier-lookup clock: a
+            # restore reuses the original admission time, which can only
+            # hide (never invent) remote publishes — deterministic and
+            # conservative.
+            hit, remote, transfer_s = self.pool.allocate_reusing(
                 r.timed.request_id,
                 r.timed.session_id,
                 context,
                 final,
                 prefill_tokens,
+                now=r.admitted_s,
             )
         else:
             self.pool.allocate(r.timed.request_id, context, final)
-            hit = 0
+            hit, remote, transfer_s = 0, 0, 0.0
         r.cache_hit_last = hit
         r.cached_tokens += hit
+        r.remote_hit_last = remote
+        r.remote_tokens += remote
+        r.transfer_s_last = transfer_s
 
     def on_admit(self, admitted: Sequence[RunningRequest]) -> None:
         for r in admitted:
@@ -760,6 +792,7 @@ class PrefixCachingScheduler(PagedScheduler):
             self.pool.publish(
                 request.timed.session_id,
                 request.input_len + request.generated,
+                at=request.finished_s,
             )
         self.pool.release(request.timed.request_id)
 
@@ -774,6 +807,18 @@ class PrefixCachingScheduler(PagedScheduler):
     @property
     def cache_evictions(self) -> int:
         return self.pool.cache.evictions
+
+    @property
+    def remote_hit_tokens(self) -> int:
+        return self.pool.remote_hit_tokens
+
+    @property
+    def transferred_bytes(self) -> float:
+        return self.pool.transferred_bytes
+
+    @property
+    def kv_transfers(self) -> int:
+        return self.pool.kv_transfers
 
 
 class OverlapScheduler(ChunkedPrefillScheduler):
@@ -801,6 +846,7 @@ def build_scheduler(
     chunk_budget: int = 256,
     block_size: int = 64,
     preempt: bool = True,
+    cache: bool = True,
 ) -> Scheduler:
     """Construct a scheduler by registry name.
 
@@ -812,11 +858,22 @@ def build_scheduler(
     KV in ``block_size``-token blocks as decode progresses and preempts
     on exhaustion unless ``preempt=False`` (which reserves the full
     final context up front, the :class:`MemoryAwareScheduler`-bit-exact
-    degenerate mode).
+    degenerate mode).  ``cache=False`` builds ``prefix`` with its cache
+    off — the :class:`PagedScheduler`-bit-exact degenerate mode — and is
+    ignored by every other policy.
     """
     if name in ("paged", "prefix"):
-        cls = PagedScheduler if name == "paged" else PrefixCachingScheduler
-        return cls(
+        if name == "paged":
+            return PagedScheduler(
+                MemoryModel.for_system(system, spec),
+                capacity_bytes if capacity_bytes is not None
+                else system.capacity_bytes,
+                block_size=block_size,
+                preempt=preempt,
+                max_batch=max_batch,
+                step_stride=step_stride,
+            )
+        return PrefixCachingScheduler(
             MemoryModel.for_system(system, spec),
             capacity_bytes if capacity_bytes is not None
             else system.capacity_bytes,
@@ -824,6 +881,7 @@ def build_scheduler(
             preempt=preempt,
             max_batch=max_batch,
             step_stride=step_stride,
+            cache=cache,
         )
     if name == "static":
         return StaticBatchScheduler(max_batch, step_stride)

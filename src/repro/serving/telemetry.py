@@ -112,11 +112,14 @@ class Collector:
         cache_hit_tokens: int = 0,
         cache_miss_tokens: int = 0,
         cache_evictions: int = 0,
+        remote_hit_tokens: int = 0,
+        transferred_bytes: float = 0.0,
     ) -> None:
         """Iteration gauges at a batch-composition event.
 
-        The prefix-cache counters are cumulative and default to 0 so
-        hand-written collectors predating the cache stay valid callers.
+        The prefix-cache and shared-tier counters are cumulative and
+        default to 0 so hand-written collectors predating them stay
+        valid callers.
         """
 
 
@@ -145,7 +148,8 @@ class Track:
         self.spans: list[tuple] = []
         #: (t, queue_depth, n_running, blocks_in_use, preemptions,
         #:  prefill_tokens_cum, decode_tokens_cum,
-        #:  cache_hit_tokens_cum, cache_miss_tokens_cum, cache_evictions_cum)
+        #:  cache_hit_tokens_cum, cache_miss_tokens_cum, cache_evictions_cum,
+        #:  remote_hit_tokens_cum, transferred_bytes_cum)
         self.gauges: list[tuple] = []
         #: (request_id, t_preempt, t_restore_start)
         self.preempt_spans: list[tuple[int, float, float]] = []
@@ -248,6 +252,7 @@ class _TrackCollector(Collector):
     def gauge(
         self, t, queue_depth, n_running, blocks_in_use, preemptions,
         cache_hit_tokens=0, cache_miss_tokens=0, cache_evictions=0,
+        remote_hit_tokens=0, transferred_bytes=0.0,
     ):
         track = self.track
         track.gauges.append(
@@ -255,6 +260,7 @@ class _TrackCollector(Collector):
                 t, queue_depth, n_running, blocks_in_use, preemptions,
                 track.prefill_tokens, track.decode_tokens,
                 cache_hit_tokens, cache_miss_tokens, cache_evictions,
+                remote_hit_tokens, transferred_bytes,
             )
         )
 
@@ -436,9 +442,12 @@ class Timeline:
             any_cache = any(
                 g[7] or g[8] or g[9] for g in track.gauges
             )
+            any_remote = any(
+                g[10] or g[11] for g in track.gauges
+            )
             for (
                 t, depth, running, blocks, preempts, pf_tok, dc_tok,
-                hit_tok, miss_tok, evictions,
+                hit_tok, miss_tok, evictions, remote_tok, xfer_bytes,
             ) in track.gauges:
                 ts = us(t)
                 counters = [
@@ -457,6 +466,15 @@ class Timeline:
                             "hit_tokens": hit_tok,
                             "miss_tokens": miss_tok,
                             "evictions": evictions,
+                        },
+                    ))
+                if any_remote:
+                    # And only shared-tier runs grow the transfer track.
+                    counters.append((
+                        "kv_transfer",
+                        {
+                            "remote_hit_tokens": remote_tok,
+                            "transferred_bytes": xfer_bytes,
                         },
                     ))
                 for name, args in counters:

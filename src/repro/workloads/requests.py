@@ -100,13 +100,16 @@ class Trace:
     The request-level analogue of :class:`Batch`: where a batch is the
     paper's fixed-shape evaluation unit, a trace is what a serving cluster
     actually sees — requests arriving over time, each with its own lengths.
+
+    A trace may be *empty*: a cluster replica that the router never
+    dispatches to effectively serves the empty trace, and the 1-replica
+    equivalence only holds everywhere if the bare engine accepts it too
+    (it serves to a zero-span record with NaN percentiles).
     """
 
     requests: tuple[TimedRequest, ...]
 
     def __post_init__(self) -> None:
-        if not self.requests:
-            raise ValueError("trace must contain at least one request")
         arrivals = [r.arrival_s for r in self.requests]
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
             raise ValueError("trace arrivals must be non-decreasing")
@@ -117,7 +120,9 @@ class Trace:
 
     @property
     def duration_s(self) -> float:
-        """Time span between the first and the last arrival."""
+        """Time span between the first and the last arrival (0 if empty)."""
+        if not self.requests:
+            return 0.0
         return self.requests[-1].arrival_s - self.requests[0].arrival_s
 
     @property
@@ -159,9 +164,9 @@ class Trace:
         ``traces`` argument, so ``merge(partition(...).values())`` restores
         a round-trip whenever arrivals are distinct.
         """
-        requests = [r for trace in traces for r in trace.requests]
-        if not requests:
+        if not traces:
             raise ValueError("cannot merge zero traces")
+        requests = [r for trace in traces for r in trace.requests]
         requests.sort(key=lambda r: r.arrival_s)
         return cls(tuple(requests))
 

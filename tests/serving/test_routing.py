@@ -5,6 +5,7 @@ import pytest
 from repro.serving import (
     ROUTER_NAMES,
     AffinityRouter,
+    CacheAwareRouter,
     LeastOutstandingRouter,
     RoundRobinRouter,
     build_router,
@@ -16,6 +17,12 @@ from repro.workloads.requests import Request, TimedRequest, Trace
 
 def timed(request_id: int, arrival_s: float, input_len=64, output_len=8):
     return TimedRequest(Request(request_id, input_len, output_len), arrival_s)
+
+
+def turn(request_id: int, session_id: int, arrival_s: float, input_len=64):
+    return TimedRequest(
+        Request(request_id, input_len, 8, session_id=session_id), arrival_s
+    )
 
 
 class TestRoundRobin:
@@ -69,7 +76,22 @@ class TestAffinity:
         router = AffinityRouter(5)
         a = router.choose(timed(7, 0.0))
         b = router.choose(timed(7, 99.0, input_len=512))
-        assert a == b  # key defaults to request_id, not shape or time
+        # Sessionless requests fall back to the request id as the key,
+        # never the shape or time.
+        assert a == b
+
+    def test_default_key_is_the_session(self):
+        """Turns of one conversation co-locate even though every turn is
+        a distinct request — the whole point of affinity routing (keying
+        on request_id instead was the bug this regresses)."""
+        router = AffinityRouter(5)
+        turns = [router.choose(turn(i, session_id=3, arrival_s=float(i)))
+                 for i in range(6)]
+        assert len(set(turns)) == 1
+        # A session id equal to some request id hashes identically, so
+        # the fallback cannot collide sessions apart across processes.
+        assert router.choose(turn(99, session_id=7, arrival_s=0.0)) == \
+            router.choose(timed(7, 0.0))
 
     def test_stable_across_instances(self):
         """SHA-based hashing: a fresh router (fresh process) agrees."""
@@ -96,6 +118,56 @@ class TestAffinity:
         router = AffinityRouter(4, key=lambda r: object())
         with pytest.raises(TypeError, match="deterministic across processes"):
             router.choose(timed(0, 0.0))
+
+
+class TestCacheAware:
+    def test_without_savings_is_seconds_backlog_fanout(self):
+        """No ``prefix_savings`` estimate means no warmth anywhere: the
+        router degrades to least-outstanding over predicted seconds."""
+        router = CacheAwareRouter(4, service_time=lambda r: 100.0)
+        burst = Trace(tuple(timed(i, 0.0) for i in range(8)))
+        assert router.assign(burst) == (0, 1, 2, 3, 0, 1, 2, 3)
+
+    def test_warmth_pins_a_session_to_its_replica(self):
+        """A large prefix credit keeps every turn home while sessionless
+        traffic still spills to the emptier replica."""
+        router = CacheAwareRouter(
+            2, service_time=lambda r: 1.0,
+            prefix_savings=lambda hit_tokens: 1000.0,
+        )
+        assert router.choose(turn(0, session_id=1, arrival_s=0.0)) == 0
+        assert router.choose(turn(1, session_id=1, arrival_s=0.0)) == 0
+        # The home replica now predicts 2 s of backlog; a sessionless
+        # request has no warmth there and takes the idle one.
+        assert router.choose(timed(2, 0.0)) == 1
+
+    def test_session_migrates_when_backlog_outweighs_the_prefix(self):
+        """The credit is priced, not absolute: once the home replica's
+        backlog exceeds what the cached prefix is worth, the session
+        moves — with the shared tier downstream, it moves *warm*."""
+        router = CacheAwareRouter(
+            2, service_time=lambda r: 1.0,
+            prefix_savings=lambda hit_tokens: 1.5,
+        )
+        assert router.choose(turn(0, session_id=1, arrival_s=0.0)) == 0
+        # Backlog 1.0 s vs 1.5 s of prefix: staying is cheaper.
+        assert router.choose(turn(1, session_id=1, arrival_s=0.0)) == 0
+        # Backlog 2.0 s vs 1.5 s of prefix: migrating is cheaper.
+        assert router.choose(turn(2, session_id=1, arrival_s=0.0)) == 1
+
+    def test_reset_forgets_session_history(self):
+        router = CacheAwareRouter(
+            2, service_time=lambda r: 1.0,
+            prefix_savings=lambda hit_tokens: 1000.0,
+        )
+        router.choose(turn(0, session_id=1, arrival_s=0.0))
+        router.reset()
+        assert not router._sessions
+        assert router.choose(turn(1, session_id=1, arrival_s=0.0)) == 0
+
+    def test_requires_service_time(self):
+        with pytest.raises(ValueError, match="service_time"):
+            build_router("cache-aware", 2)
 
 
 class TestBuildRouter:

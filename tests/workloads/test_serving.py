@@ -62,7 +62,23 @@ class TestTimedRequests:
         with pytest.raises(ValueError):
             TimedRequest(Request(0, 1, 1), -0.1)
         with pytest.raises(ValueError):
-            Trace(())
+            Trace((
+                TimedRequest(Request(0, 1, 1), 1.0),
+                TimedRequest(Request(1, 1, 1), 0.5),
+            ))
+
+    def test_empty_trace_allowed(self):
+        # A replica the router never dispatches to serves the empty
+        # trace, so Trace must accept it (the engine returns a zero-span
+        # record for it — see the engine equivalence tests).
+        empty = Trace(())
+        assert empty.n_requests == 0
+        assert empty.duration_s == 0.0
+        assert empty.offered_qps == 0.0
+        assert empty.total_output_tokens == 0
+        assert Trace.from_payload(empty.to_payload()) == empty
+        with pytest.raises(ValueError):
+            Trace.merge([])
 
 
 class TestTracePartitionMerge:
