@@ -54,6 +54,11 @@ METRIC_DIRECTIONS: dict[str, bool] = {
     "prefix_cache_hit_rate": True,
     # cross-replica reuse: same contract for the shared tier's share
     "remote_prefix_hit_rate": True,
+    # disaggregation: both sides of a split fleet must stay busy, and
+    # the KV moved over the wire per run must not silently grow
+    "prefill_utilization": True,
+    "decode_utilization": True,
+    "handoff_bytes": False,
     # batch-level throughput trials
     "tokens_per_second": True,
     "generation_throughput": True,

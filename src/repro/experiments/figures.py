@@ -133,6 +133,16 @@ FIGURES: dict[str, Figure] = {
         assemble=serving_experiments.prefix_reuse_assemble,
         render=serving_experiments.prefix_reuse_render,
     ),
+    "disaggregation": Figure(
+        name="disaggregation",
+        title=(
+            "Prefill/decode disaggregation: split vs colocated fleets "
+            "under rising prefill-heavy load (per fleet)"
+        ),
+        spec=serving_experiments.disaggregation_spec,
+        assemble=serving_experiments.disaggregation_assemble,
+        render=serving_experiments.disaggregation_render,
+    ),
     "cross_replica_prefix": Figure(
         name="cross_replica_prefix",
         title=(

@@ -59,9 +59,11 @@ from repro.serving.memory import (
     validate_capacity,
 )
 from repro.serving.routing import (
+    PHASE_NAMES,
     ROUTER_NAMES,
     AffinityRouter,
     CacheAwareRouter,
+    DisaggregatedRouter,
     LeastOutstandingRouter,
     RoundRobinRouter,
     Router,
@@ -123,9 +125,11 @@ __all__ = [
     "ClusterTrace",
     "ReplicaStats",
     "build_cluster",
+    "PHASE_NAMES",
     "ROUTER_NAMES",
     "AffinityRouter",
     "CacheAwareRouter",
+    "DisaggregatedRouter",
     "LeastOutstandingRouter",
     "RoundRobinRouter",
     "Router",

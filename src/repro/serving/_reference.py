@@ -69,6 +69,9 @@ class ReferenceEngine:
         prefills: list[float] = []
         prefill_tokens: list[int] = []
         preemptions = 0
+        handoffs = 0
+        handoff_bytes = 0.0
+        idle_s = 0.0
 
         if not pending:
             # An empty trace serves to an empty record: zero span, no
@@ -196,44 +199,62 @@ class ReferenceEngine:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
                 set_depth(len(queue))
                 admitted_s = clock
-                cohort_input = max(t.input_len for t in admitted)
                 members = [
                     RunningRequest(
                         timed=t,
                         admitted_s=admitted_s,
                         stride=self.scheduler.request_stride(t.output_len),
-                        prefilled=budget is None,
+                        prefilled=(
+                            budget is None or bool(t.prefilled_tokens)
+                        ),
                     )
                     for t in admitted
                 ]
                 running.extend(members)
                 self.scheduler.on_admit(members)
-                if budget is None:
-                    # Padded-cohort pricing reuses only what *every*
-                    # member has cached: the cohort runs as one fused
-                    # prefill of length cohort_input, so the min hit is
-                    # the longest prefix the whole batch can skip.
-                    cached = min(m.cache_hit_last for m in members)
-                    if cached:
-                        dt = self.cost.chunk_prefill_seconds(
-                            len(admitted), cached, cohort_input
-                        )
-                    else:
-                        dt = self.cost.prefill_seconds(
-                            len(admitted), cohort_input
-                        )
-                    # Remote prefix pulls serialize on the link ahead of
-                    # the fused prefill; each member's wire time adds up.
-                    transfer = sum(m.transfer_s_last for m in members)
-                    if transfer:
-                        dt += transfer
+                # Disaggregated continuations: the prompt KV arrives
+                # precomputed over the wire, so the handoff serializes
+                # into this clock *instead of* a prefill.  Handoffs are
+                # counted, never recorded as prefill events (a prefill
+                # event always covers >= 1 computed token).
+                handed = [m for m in members if m.timed.prefilled_tokens]
+                if handed:
+                    dt = 0.0
+                    for m in handed:
+                        dt += m.timed.handoff_s
+                        handoff_bytes += m.timed.handoff_bytes
+                    handoffs += len(handed)
                     advance(dt)
-                    prefills.append(dt)
-                    prefill_tokens.append(cohort_input - cached)
-                else:
-                    # Chunking: no clock movement at admission — the
-                    # prompt is streamed by the chunk iterations below.
-                    cohorts.append(_PrefillCohort(members, cohort_input))
+                fresh = [m for m in members if not m.timed.prefilled_tokens]
+                if fresh:
+                    cohort_input = max(m.input_len for m in fresh)
+                    if budget is None:
+                        # Padded-cohort pricing reuses only what *every*
+                        # member has cached: the cohort runs as one fused
+                        # prefill of length cohort_input, so the min hit
+                        # is the longest prefix the whole batch can skip.
+                        cached = min(m.cache_hit_last for m in fresh)
+                        if cached:
+                            dt = self.cost.chunk_prefill_seconds(
+                                len(fresh), cached, cohort_input
+                            )
+                        else:
+                            dt = self.cost.prefill_seconds(
+                                len(fresh), cohort_input
+                            )
+                        # Remote prefix pulls serialize on the link ahead
+                        # of the fused prefill; each member's wire time
+                        # adds up.
+                        transfer = sum(m.transfer_s_last for m in fresh)
+                        if transfer:
+                            dt += transfer
+                        advance(dt)
+                        prefills.append(dt)
+                        prefill_tokens.append(cohort_input - cached)
+                    else:
+                        # Chunking: no clock movement at admission — the
+                        # prompt is streamed by the chunk iterations below.
+                        cohorts.append(_PrefillCohort(fresh, cohort_input))
                 continue
 
             if cohorts:
@@ -307,7 +328,9 @@ class ReferenceEngine:
                 continue
 
             if pending:
-                advance(pending[0].arrival_s - clock)
+                dt = pending[0].arrival_s - clock
+                advance(dt)
+                idle_s += dt
                 continue
 
             raise RuntimeError(
@@ -352,6 +375,9 @@ class ReferenceEngine:
             remote_hit_tokens=self.scheduler.remote_hit_tokens,
             transferred_bytes=self.scheduler.transferred_bytes,
             kv_transfers=self.scheduler.kv_transfers,
+            handoffs=handoffs,
+            handoff_bytes=handoff_bytes,
+            busy_s=(end - start) - idle_s,
             depth=depth_sketch,
         )
 

@@ -42,13 +42,15 @@ from repro.serving.metrics import (
 if TYPE_CHECKING:  # telemetry stays optional at runtime
     from repro.serving.telemetry import Collector
 from repro.serving.routing import (
+    PHASE_NAMES,
     AffinityKey,
+    DisaggregatedRouter,
     Router,
     build_router,
     load_imbalance,
 )
 from repro.serving.schedulers import build_scheduler
-from repro.workloads.requests import TimedRequest, Trace
+from repro.workloads.requests import Request, TimedRequest, Trace
 
 
 def _empty_record(
@@ -131,6 +133,11 @@ class ClusterReport(ServingReport):
 
     router: str
     per_replica: tuple[ReplicaStats, ...]
+    #: phase per replica; ``None`` marks a pre-disaggregation report and
+    #: keeps its payload byte-identical to earlier runs
+    phases: tuple[str, ...] | None = dataclasses.field(
+        default=None, kw_only=True
+    )
 
     @property
     def n_replicas(self) -> int:
@@ -141,11 +148,58 @@ class ClusterReport(ServingReport):
         """Max-over-mean assigned tokens across replicas (1.0 = even)."""
         return load_imbalance([r.assigned_tokens for r in self.per_replica])
 
+    @property
+    def disaggregated(self) -> bool:
+        """Whether any replica was phase-restricted this run."""
+        return self.phases is not None and any(
+            phase != "both" for phase in self.phases
+        )
+
+    def _side_utilization(self, want_decode: bool) -> float:
+        """Mean busy fraction over one side of a phase-split fleet.
+
+        A replica's busy fraction is ``busy_s / makespan_s`` — the share
+        of its active span it spent pricing work rather than idling on
+        an empty queue.  Replicas that never dispatched count as 0.0
+        (an idle node is utilization the fleet paid for); an empty side
+        is NaN rather than a misleading zero.
+        """
+        if self.phases is None:
+            return float("nan")
+        fractions: list[float] = []
+        for entry, phase in zip(self.per_replica, self.phases):
+            if (phase == "decode") != want_decode:
+                continue
+            stats = entry.stats
+            if stats is None or stats.makespan_s <= 0:
+                fractions.append(0.0)
+            else:
+                fractions.append(stats.busy_s / stats.makespan_s)
+        if not fractions:
+            return float("nan")
+        return sum(fractions) / len(fractions)
+
+    @property
+    def prefill_utilization(self) -> float:
+        """Mean busy fraction of prefill-capable replicas (``both`` too)."""
+        return self._side_utilization(want_decode=False)
+
+    @property
+    def decode_utilization(self) -> float:
+        """Mean busy fraction of decode-only replicas."""
+        return self._side_utilization(want_decode=True)
+
     def to_payload(self, slo: SloSpec | None = None) -> dict:
         payload = super().to_payload(slo)
         payload["router"] = self.router
         payload["n_replicas"] = self.n_replicas
         payload["load_imbalance"] = self.load_imbalance
+        if self.disaggregated:
+            # Emitted only for phase-split fleets so colocated payloads
+            # stay byte-identical to pre-disaggregation runs.
+            payload["phases"] = list(self.phases or ())
+            payload["prefill_utilization"] = self.prefill_utilization
+            payload["decode_utilization"] = self.decode_utilization
         payload["per_replica"] = [
             r.to_payload(slo) for r in self.per_replica
         ]
@@ -159,15 +213,26 @@ class ClusterTrace:
     assignments: tuple[int, ...]  #: replica index per trace request
     replicas: tuple[EngineTrace | None, ...]  #: ``None`` = never dispatched
     router: str
+    #: phase per replica; ``None`` for a colocated (pre-phase) run
+    phases: tuple[str, ...] | None = None
+    #: decode replica per request (equals ``assignments`` when colocated)
+    decode_assignments: tuple[int, ...] | None = None
+    #: whole-lifecycle timings of split requests; their per-replica
+    #: half-timings are dropped by :meth:`merged` in favour of these
+    stitched: tuple[RequestTiming, ...] = ()
+    #: request ids that ran as a prefill half plus a decode half
+    split_ids: frozenset[int] = frozenset()
 
     def merged(self) -> EngineTrace:
         """All replicas' events folded into one engine-level record.
 
-        With one active replica this returns its record *unchanged* — the
-        bit-exactness guarantee of the 1-replica equivalence.  With many,
-        timings re-sort by request id, event lists concatenate in replica
-        order, and the time-weighted queue depth is re-averaged over the
-        cluster-wide span (per-replica depth areas add; spans overlap).
+        With one active replica (and no split requests) this returns its
+        record *unchanged* — the bit-exactness guarantee of the 1-replica
+        equivalence.  With many, timings re-sort by request id, event
+        lists concatenate in replica order, and the time-weighted queue
+        depth is re-averaged over the cluster-wide span (per-replica
+        depth areas add; spans overlap).  Split requests contribute their
+        stitched whole-lifecycle timing instead of two half-timings.
         """
         active = [t for t in self.replicas if t is not None]
         if not active:
@@ -175,11 +240,15 @@ class ClusterTrace:
             # bare engine's empty record, not an error, so the cluster
             # and the engine agree on the degenerate input too.
             return _empty_record()
-        if len(active) == 1:
+        if len(active) == 1 and not self.split_ids:
             return active[0]
         timings: list[RequestTiming] = [
-            t for trace in active for t in trace.timings
+            t
+            for trace in active
+            for t in trace.timings
+            if t.request_id not in self.split_ids
         ]
+        timings.extend(self.stitched)
         timings.sort(key=lambda t: t.request_id)
         start = min(t.start_s for t in active)
         end = max(t.end_s for t in active)
@@ -211,11 +280,16 @@ class ClusterTrace:
             remote_hit_tokens=sum(t.remote_hit_tokens for t in active),
             transferred_bytes=sum(t.transferred_bytes for t in active),
             kv_transfers=sum(t.kv_transfers for t in active),
+            handoffs=sum(t.handoffs for t in active),
+            handoff_bytes=sum(t.handoff_bytes for t in active),
+            busy_s=sum(t.busy_s for t in active),
             depth=DepthSketch.merge(depths) if depths else None,
         )
 
-    def report(self) -> ClusterReport:
-        merged = self.merged().report()
+    def report(
+        self, sketch_capacity: int = DEFAULT_SKETCH_CAPACITY
+    ) -> ClusterReport:
+        merged = self.merged().stats(sketch_capacity).report()
         # Shallow field copy (asdict would recurse into RequestTiming).
         fields = {
             f.name: getattr(merged, f.name)
@@ -224,9 +298,11 @@ class ClusterTrace:
         return ClusterReport(
             **fields,
             router=self.router,
+            phases=self.phases,
             per_replica=tuple(
                 ReplicaStats(
-                    replica=i, stats=None if t is None else t.stats()
+                    replica=i,
+                    stats=None if t is None else t.stats(sketch_capacity),
                 )
                 for i, t in enumerate(self.replicas)
             ),
@@ -249,7 +325,13 @@ class ClusterEngine:
     the bare engine under every router and scheduler (tested).
     """
 
-    def __init__(self, replicas: Sequence[ServingEngine], router: Router):
+    def __init__(
+        self,
+        replicas: Sequence[ServingEngine],
+        router: Router,
+        phases: Sequence[str] | None = None,
+        link_gbps: float = DEFAULT_LINK_GBPS,
+    ):
         replicas = tuple(replicas)
         if not replicas:
             raise ValueError("a cluster needs at least one replica")
@@ -258,8 +340,46 @@ class ClusterEngine:
                 f"router expects {router.n_replicas} replicas, "
                 f"cluster has {len(replicas)}"
             )
+        if phases is None:
+            phases = ("both",) * len(replicas)
+        phases = tuple(phases)
+        if len(phases) != len(replicas):
+            raise ValueError(
+                f"got {len(phases)} phases for {len(replicas)} replicas"
+            )
+        unknown = sorted(set(phases) - set(PHASE_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown phases {unknown}; pick from {PHASE_NAMES}"
+            )
+        self.split = any(phase != "both" for phase in phases)
+        if self.split and not isinstance(router, DisaggregatedRouter):
+            raise ValueError(
+                "a phase-split fleet needs the 'disaggregated' router "
+                "(classic routers pin one replica per request)"
+            )
+        if isinstance(router, DisaggregatedRouter) and router.phases != phases:
+            raise ValueError(
+                f"router phases {router.phases} disagree with "
+                f"cluster phases {phases}"
+            )
         self.replicas = replicas
         self.router = router
+        self.phases = phases
+        self.link_gbps = link_gbps
+        # Handoff pricing is fixed per *destination* replica: the wire
+        # moves the destination's KV layout, so bytes and seconds come
+        # from its memory and cost models — the same formula the
+        # disaggregated router uses to score candidate pairs.
+        self._handoff = tuple(
+            (
+                MemoryModel.for_system(engine.system, engine.spec),
+                IterationCostModel(
+                    engine.system, engine.spec, link_gbps=link_gbps
+                ),
+            )
+            for engine in replicas
+        )
 
     @property
     def n_replicas(self) -> int:
@@ -272,8 +392,11 @@ class ClusterEngine:
 
         A ``collector`` forks one child per dispatched replica
         (:meth:`~repro.serving.telemetry.Collector.fork`), so the merged
-        timeline keeps one track per node.
+        timeline keeps one track per node.  Phase-split fleets run the
+        two-stage orchestration (:meth:`_serve_split`) instead.
         """
+        if self.split:
+            return self._serve_split(trace, collector)
         self.router.reset()  # a reused engine must route like a fresh one
         assignments = self.router.assign(trace)
         parts = trace.partition(assignments)
@@ -289,6 +412,120 @@ class ClusterEngine:
                 for i, engine in enumerate(self.replicas)
             ),
             router=self.router.name,
+            phases=self.phases,
+            decode_assignments=assignments,
+        )
+
+    def _serve_split(
+        self, trace: Trace, collector: "Collector | None" = None
+    ) -> ClusterTrace:
+        """Two-stage prefill/decode orchestration over a split fleet.
+
+        Stage 1 runs every request's prefill half (or, for colocated
+        picks, its whole lifetime) on its prefill replica.  Each split
+        request then re-arrives at its decode replica the instant its
+        first token left the prefill node, carrying its whole prompt KV
+        (plus that first token) as precomputed state priced over the
+        ``link_gbps`` wire into the destination clock.  Stage 2 runs the
+        decode-only replicas on those continuations.  Stage sets are
+        disjoint, so every replica still runs exactly once.
+        """
+        assert isinstance(self.router, DisaggregatedRouter)
+        self.router.reset()
+        pairs = self.router.assign_pairs(trace)
+        stage1: dict[int, list[TimedRequest]] = {}
+        split_pair: dict[int, tuple[int, int]] = {}
+        for timed, (prefill, decode) in zip(trace.requests, pairs):
+            if prefill == decode or timed.output_len <= 1:
+                # Colocated pick — or a one-token request, which finishes
+                # at its first token with nothing left to hand off.
+                stage1.setdefault(prefill, []).append(timed)
+                continue
+            split_pair[timed.request_id] = (prefill, decode)
+            stage1.setdefault(prefill, []).append(
+                TimedRequest(
+                    Request(
+                        timed.request_id,
+                        timed.input_len,
+                        1,
+                        session_id=timed.request.session_id,
+                    ),
+                    timed.arrival_s,
+                )
+            )
+        results: list[EngineTrace | None] = [None] * self.n_replicas
+        by_request: dict[int, dict[int, RequestTiming]] = {}
+        for i, requests in sorted(stage1.items()):
+            # Stage-1 parts keep trace order, so arrivals stay sorted.
+            results[i] = self.replicas[i].serve(
+                Trace(tuple(requests)),
+                None if collector is None else collector.fork(i),
+            )
+            by_request[i] = {
+                t.request_id: t for t in results[i].timings
+            }
+        originals = {t.request_id: t for t in trace.requests}
+        stage2: dict[int, list[TimedRequest]] = {}
+        for request_id, (prefill, decode) in split_pair.items():
+            first = by_request[prefill][request_id]
+            original = originals[request_id]
+            memory, cost = self._handoff[decode]
+            moved = memory.reserved_bytes(original.input_len + 1)
+            stage2.setdefault(decode, []).append(
+                TimedRequest(
+                    # session_id=None: the decode node holds the KV
+                    # in-flight state, not a reusable session prefix.
+                    Request(
+                        request_id,
+                        original.input_len + 1,
+                        original.output_len - 1,
+                        session_id=None,
+                    ),
+                    arrival_s=first.first_token_s,
+                    prefilled_tokens=original.input_len + 1,
+                    handoff_s=cost.transfer_seconds(moved),
+                    handoff_bytes=moved,
+                )
+            )
+        for decode, requests in sorted(stage2.items()):
+            # Continuations arrive at first-token times, which do not
+            # follow trace order — re-sort into a valid arrival stream.
+            requests.sort(key=lambda t: (t.arrival_s, t.request_id))
+            results[decode] = self.replicas[decode].serve(
+                Trace(tuple(requests)),
+                None if collector is None else collector.fork(decode),
+            )
+            by_request[decode] = {
+                t.request_id: t for t in results[decode].timings
+            }
+        stitched: list[RequestTiming] = []
+        for request_id in sorted(split_pair):
+            prefill, decode = split_pair[request_id]
+            first = by_request[prefill][request_id]
+            rest = by_request[decode][request_id]
+            original = originals[request_id]
+            stitched.append(
+                RequestTiming(
+                    request_id=request_id,
+                    input_len=original.input_len,
+                    output_len=original.output_len,
+                    arrival_s=first.arrival_s,
+                    admitted_s=first.admitted_s,
+                    first_token_s=first.first_token_s,
+                    finished_s=rest.finished_s,
+                    preemptions=first.preemptions + rest.preemptions,
+                    cached_tokens=first.cached_tokens,
+                    remote_tokens=first.remote_tokens,
+                )
+            )
+        return ClusterTrace(
+            assignments=tuple(p for p, _ in pairs),
+            replicas=tuple(results),
+            router=self.router.name,
+            phases=self.phases,
+            decode_assignments=tuple(d for _, d in pairs),
+            stitched=tuple(stitched),
+            split_ids=frozenset(split_pair),
         )
 
     def run(
@@ -309,6 +546,13 @@ class ClusterEngine:
         ``serve(trace).report()``; use :meth:`serve` when the raw event
         record itself is wanted.
         """
+        if self.split:
+            # Two-stage orchestration needs the raw per-request timings
+            # to stitch split lifecycles, so split fleets run through
+            # :meth:`serve` and fold afterwards.
+            return self._serve_split(trace, collector).report(
+                sketch_capacity
+            )
         self.router.reset()  # a reused engine must route like a fresh one
         assignments = self.router.assign(trace)
         parts = trace.partition(assignments)
@@ -336,11 +580,72 @@ class ClusterEngine:
         return ClusterReport(
             **fields,
             router=self.router.name,
+            phases=self.phases,
             per_replica=tuple(
                 ReplicaStats(replica=i, stats=s)
                 for i, s in enumerate(stats)
             ),
         )
+
+
+def _service_time_estimate(cost: IterationCostModel):
+    """One replica's whole-lifetime service-time estimate for routing."""
+
+    def service_time(request: TimedRequest) -> float:
+        mid_context = request.input_len + request.output_len // 2
+        return cost.prefill_seconds(
+            1, request.input_len
+        ) + request.output_len * cost.decode_seconds(1, mid_context)
+
+    return service_time
+
+
+def _prefix_savings_estimate(cost: IterationCostModel):
+    """One replica's warm-prefix savings estimate for routing."""
+
+    def prefix_savings(hit_tokens: int) -> float:
+        # Prefill chunk costs telescope, so skipping a cached prefix of
+        # hit_tokens saves roughly its own solo-prefill time.
+        return cost.prefill_seconds(1, hit_tokens)
+
+    return prefix_savings
+
+
+def _prefill_time_estimate(cost: IterationCostModel):
+    """Time-to-first-token on one replica: solo prefill + first step."""
+
+    def prefill_time(request: TimedRequest) -> float:
+        return cost.prefill_seconds(
+            1, request.input_len
+        ) + cost.decode_seconds(1, request.input_len)
+
+    return prefill_time
+
+
+def _decode_time_estimate(cost: IterationCostModel):
+    """Decode-tail estimate on one replica, priced at mid-generation."""
+
+    def decode_time(request: TimedRequest) -> float:
+        mid_context = request.input_len + request.output_len // 2
+        return request.output_len * cost.decode_seconds(1, mid_context)
+
+    return decode_time
+
+
+def _handoff_time_estimate(memory: MemoryModel, cost: IterationCostModel):
+    """Wire seconds to land a request's prefilled KV on one replica.
+
+    Exactly the pricing :class:`ClusterEngine` charges the destination
+    clock — ``reserved_bytes(input_len + 1)`` over the fleet link — so
+    the disaggregated router's scores match execution.
+    """
+
+    def handoff_time(request: TimedRequest) -> float:
+        return cost.transfer_seconds(
+            memory.reserved_bytes(request.input_len + 1)
+        )
+
+    return handoff_time
 
 
 def build_cluster(
@@ -359,37 +664,77 @@ def build_cluster(
     cache: bool = True,
     shared_tier: bool = False,
     link_gbps: float = DEFAULT_LINK_GBPS,
+    node_kinds: Sequence[ServingSystem] | None = None,
+    phases: Sequence[str] | None = None,
 ) -> ClusterEngine:
-    """A homogeneous cluster: ``n_replicas`` copies of one node design.
+    """A cluster of ``n_replicas`` nodes, homogeneous or mixed.
 
     Every replica gets its *own* scheduler instance (and therefore its own
     HBM reservation ledger under the ``memory`` policy and its own block
     pool under ``paged`` — ``block_size``/``preempt``/``cache`` are
-    threaded through to every replica's scheduler); the system cost model
-    is shared because pricing is pure.  The least-loaded and cache-aware
-    routers' estimates reuse replica 0's
-    :class:`~repro.serving.costs.IterationCostModel` — one solo prefill
-    plus ``output_len`` decode steps priced at the request's mid-generation
-    context — so routing and execution can never disagree about costs.
+    threaded through to every replica's scheduler).  By default all
+    replicas share one node design; ``node_kinds`` (one
+    :class:`~repro.perf.system.ServingSystem` per replica) builds a mixed
+    fleet instead — e.g. GPU nodes next to PIM nodes.  Router estimates
+    are *per replica*: each node's own
+    :class:`~repro.serving.costs.IterationCostModel` prices one solo
+    prefill plus ``output_len`` decode steps at the request's
+    mid-generation context, so routing and execution can never disagree
+    about costs on any node kind (and a homogeneous fleet routes
+    bit-identically to the single-estimate era).
+
+    ``phases`` restricts replicas to ``prefill``, ``decode``, or
+    ``both`` (the default).  Any restriction requires
+    ``router="disaggregated"``, which scores (prefill, decode) replica
+    pairs by estimated first-token time *including* the KV handoff over
+    the ``link_gbps`` wire; the cluster then runs the two-stage
+    orchestration.  ``router="disaggregated"`` with no ``phases`` is a
+    colocated fleet where pairs may still split when the wire is cheap.
 
     ``shared_tier=True`` joins every replica's prefix pool to one
     :class:`~repro.serving.memory.SharedPrefixTier`, pricing cross-replica
     prefix pulls over a ``link_gbps`` interconnect; it requires the
-    ``prefix`` scheduler with its cache on.  Left ``False`` (the default)
-    every replica is bit-exact with a standalone engine.
+    ``prefix`` scheduler with its cache on and a homogeneous fleet (a
+    prefix computed in one KV layout cannot be reused in another).  Left
+    ``False`` (the default) every replica is bit-exact with a standalone
+    engine.
     """
+    if node_kinds is not None:
+        systems = tuple(node_kinds)
+        if len(systems) != n_replicas:
+            raise ValueError(
+                f"got {len(systems)} node kinds for {n_replicas} replicas"
+            )
+    else:
+        systems = (system,) * n_replicas
+    mixed = any(kind != systems[0] for kind in systems[1:])
     if shared_tier and (scheduler != "prefix" or not cache):
         raise ValueError(
             "a shared prefix tier needs the prefix scheduler with "
             "cache=True (nothing else publishes session prefixes)"
         )
+    if shared_tier and mixed:
+        raise ValueError(
+            "a shared prefix tier needs a homogeneous fleet (a prefix "
+            "computed in one node kind's KV layout cannot be reused in "
+            "another's)"
+        )
+    if phases is not None:
+        phases = tuple(phases)
+        if any(phase != "both" for phase in phases) and (
+            router != DisaggregatedRouter.name
+        ):
+            raise ValueError(
+                "phase-restricted replicas need router='disaggregated' "
+                "(classic routers cannot pair prefill and decode nodes)"
+            )
     replicas = tuple(
         ServingEngine(
-            system,
+            kind,
             spec,
             build_scheduler(
                 scheduler,
-                system,
+                kind,
                 spec,
                 max_batch=max_batch,
                 step_stride=step_stride,
@@ -400,7 +745,7 @@ def build_cluster(
                 cache=cache,
             ),
         )
-        for _ in range(n_replicas)
+        for kind in systems
     )
     if shared_tier:
         tier = SharedPrefixTier(
@@ -411,25 +756,38 @@ def build_cluster(
         for i, engine in enumerate(replicas):
             engine.scheduler.pool.attach_tier(tier, i)
 
-    def service_time(request: TimedRequest) -> float:
-        cost = replicas[0].cost
-        mid_context = request.input_len + request.output_len // 2
-        return cost.prefill_seconds(
-            1, request.input_len
-        ) + request.output_len * cost.decode_seconds(1, mid_context)
-
-    def prefix_savings(hit_tokens: int) -> float:
-        # Prefill chunk costs telescope, so skipping a cached prefix of
-        # hit_tokens saves roughly its own solo-prefill time.
-        return replicas[0].cost.prefill_seconds(1, hit_tokens)
-
-    return ClusterEngine(
-        replicas,
-        build_router(
+    if router == DisaggregatedRouter.name:
+        router_obj: Router = DisaggregatedRouter(
+            n_replicas,
+            phases if phases is not None else ("both",) * n_replicas,
+            prefill_time=[
+                _prefill_time_estimate(engine.cost) for engine in replicas
+            ],
+            decode_time=[
+                _decode_time_estimate(engine.cost) for engine in replicas
+            ],
+            handoff_time=[
+                _handoff_time_estimate(
+                    MemoryModel.for_system(engine.system, engine.spec),
+                    IterationCostModel(
+                        engine.system, engine.spec, link_gbps=link_gbps
+                    ),
+                )
+                for engine in replicas
+            ],
+        )
+    else:
+        router_obj = build_router(
             router,
             n_replicas,
-            service_time=service_time,
+            service_time=[
+                _service_time_estimate(engine.cost) for engine in replicas
+            ],
             affinity_key=affinity_key,
-            prefix_savings=prefix_savings,
-        ),
+            prefix_savings=[
+                _prefix_savings_estimate(engine.cost) for engine in replicas
+            ],
+        )
+    return ClusterEngine(
+        replicas, router_obj, phases=phases, link_gbps=link_gbps
     )

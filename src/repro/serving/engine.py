@@ -109,6 +109,13 @@ class EngineTrace:
     remote_hit_tokens: int = 0
     transferred_bytes: float = 0.0
     kv_transfers: int = 0
+    #: disaggregation counters: prefill→decode KV handoffs this engine
+    #: *received* (all zero without a phase-split cluster upstream)
+    handoffs: int = 0
+    handoff_bytes: float = 0.0
+    #: seconds the engine spent pricing work (makespan minus arrival
+    #: idle) — the numerator of a replica's utilization
+    busy_s: float = 0.0
     #: time-weighted queue-depth sketch (p50/p99); optional so that
     #: hand-built traces in tests stay valid without one
     depth: DepthSketch | None = None
@@ -140,6 +147,9 @@ class EngineTrace:
             remote_hit_tokens=self.remote_hit_tokens,
             transferred_bytes=self.transferred_bytes,
             kv_transfers=self.kv_transfers,
+            handoffs=self.handoffs,
+            handoff_bytes=self.handoff_bytes,
+            busy_s=self.busy_s,
         )
 
     def report(self) -> ServingReport:
@@ -280,9 +290,10 @@ class ServingEngine:
         priced event, every timestamp — is identical with or without one.
         """
         recorder = _TraceRecorder()
-        start, end, depth_area, max_depth, preemptions, depth = self._serve(
-            trace, recorder, collector
-        )
+        (
+            start, end, depth_area, max_depth, preemptions, depth,
+            handoffs, handoff_bytes, idle_s,
+        ) = self._serve(trace, recorder, collector)
         timings = tuple(
             RequestTiming(
                 request_id=r.timed.request_id,
@@ -318,6 +329,9 @@ class ServingEngine:
             remote_hit_tokens=self.scheduler.remote_hit_tokens,
             transferred_bytes=self.scheduler.transferred_bytes,
             kv_transfers=self.scheduler.kv_transfers,
+            handoffs=handoffs,
+            handoff_bytes=handoff_bytes,
+            busy_s=(end - start) - idle_s,
             depth=depth,
         )
 
@@ -338,9 +352,10 @@ class ServingEngine:
         above it, latency percentiles come from the seeded sample.
         """
         recorder = _StatsRecorder(sketch_capacity)
-        start, end, depth_area, max_depth, preemptions, depth = self._serve(
-            trace, recorder, collector, sketch_capacity
-        )
+        (
+            start, end, depth_area, max_depth, preemptions, depth,
+            handoffs, handoff_bytes, idle_s,
+        ) = self._serve(trace, recorder, collector, sketch_capacity)
         span = max(end - start, 1e-12)
         return EngineStats(
             requests=recorder.requests,
@@ -358,6 +373,9 @@ class ServingEngine:
             remote_hit_tokens=self.scheduler.remote_hit_tokens,
             transferred_bytes=self.scheduler.transferred_bytes,
             kv_transfers=self.scheduler.kv_transfers,
+            handoffs=handoffs,
+            handoff_bytes=handoff_bytes,
+            busy_s=(end - start) - idle_s,
         )
 
     def run(
@@ -372,9 +390,12 @@ class ServingEngine:
         rec,
         col: "Collector | None" = None,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
-    ) -> tuple[float, float, float, int, int, DepthSketch]:
+    ) -> tuple[
+        float, float, float, int, int, DepthSketch, int, float, float
+    ]:
         """The event loop; returns (start, end, depth_area, max_depth,
-        preemptions, depth_sketch) and emits events through ``rec``."""
+        preemptions, depth_sketch, handoffs, handoff_bytes, idle_s) and
+        emits events through ``rec``."""
         budget = self.scheduler.chunk_budget
         coalesce = self._coalesce
         #: one bool gates every telemetry touch on the hot path
@@ -385,12 +406,18 @@ class ServingEngine:
         preempted: list[RunningRequest] = []
         cohorts: collections.deque[_PrefillCohort] = collections.deque()
         preemptions = 0
+        handoffs = 0
+        handoff_bytes = 0.0
+        idle_s = 0.0
 
         if not pending:
             # An empty trace serves to an empty record: zero span, no
             # events, the NaN-percentile report — exactly what one
             # replica of a cluster that routed it nothing produces.
-            return 0.0, 0.0, 0.0, 0, 0, DepthSketch(sketch_capacity)
+            return (
+                0.0, 0.0, 0.0, 0, 0, DepthSketch(sketch_capacity),
+                0, 0.0, 0.0,
+            )
 
         start = pending[0].arrival_s
         clock = start
@@ -509,48 +536,71 @@ class ServingEngine:
                 admitted, queue[:admitted_n] = queue[:admitted_n], []
                 set_depth(len(queue))
                 admitted_s = clock
-                cohort_input = max(t.input_len for t in admitted)
                 members = [
                     RunningRequest(
                         timed=t,
                         admitted_s=admitted_s,
                         stride=self.scheduler.request_stride(t.output_len),
-                        prefilled=budget is None,
+                        prefilled=(
+                            budget is None or bool(t.prefilled_tokens)
+                        ),
                     )
                     for t in admitted
                 ]
                 running.extend(members)
                 self.scheduler.on_admit(members)
-                if budget is None:
-                    # Padded-cohort pricing reuses only what *every*
-                    # member has cached: the cohort runs as one fused
-                    # prefill of length cohort_input, so the min hit is
-                    # the longest prefix the whole batch can skip.
-                    cached = min(m.cache_hit_last for m in members)
-                    if cached:
-                        dt = self.cost.chunk_prefill_seconds(
-                            len(admitted), cached, cohort_input
-                        )
-                    else:
-                        dt = self.cost.prefill_seconds(
-                            len(admitted), cohort_input
-                        )
-                    # Remote prefix pulls serialize on the link ahead of
-                    # the fused prefill; each member's wire time adds up.
-                    transfer = sum(m.transfer_s_last for m in members)
-                    if transfer:
-                        dt += transfer
+                # Disaggregated continuations: the prompt KV arrives
+                # precomputed over the wire, so the handoff serializes
+                # into this clock *instead of* a prefill.  Handoffs are
+                # counted, never recorded as prefill events (a prefill
+                # event always covers >= 1 computed token).
+                handed = [m for m in members if m.timed.prefilled_tokens]
+                if handed:
+                    dt = 0.0
+                    for m in handed:
+                        dt += m.timed.handoff_s
+                        handoff_bytes += m.timed.handoff_bytes
+                    handoffs += len(handed)
                     advance(dt)
-                    rec.prefill(dt, cohort_input - cached)
                     if tel:
                         col.prefill_span(
-                            admitted_s, clock, cohort_input - cached,
-                            members, "prefill",
+                            admitted_s, clock, 0, handed, "handoff"
                         )
-                else:
-                    # Chunking: no clock movement at admission — the
-                    # prompt is streamed by the chunk iterations below.
-                    cohorts.append(_PrefillCohort(members, cohort_input))
+                fresh = [m for m in members if not m.timed.prefilled_tokens]
+                if fresh:
+                    t0 = clock
+                    cohort_input = max(m.input_len for m in fresh)
+                    if budget is None:
+                        # Padded-cohort pricing reuses only what *every*
+                        # member has cached: the cohort runs as one fused
+                        # prefill of length cohort_input, so the min hit
+                        # is the longest prefix the whole batch can skip.
+                        cached = min(m.cache_hit_last for m in fresh)
+                        if cached:
+                            dt = self.cost.chunk_prefill_seconds(
+                                len(fresh), cached, cohort_input
+                            )
+                        else:
+                            dt = self.cost.prefill_seconds(
+                                len(fresh), cohort_input
+                            )
+                        # Remote prefix pulls serialize on the link ahead
+                        # of the fused prefill; each member's wire time
+                        # adds up.
+                        transfer = sum(m.transfer_s_last for m in fresh)
+                        if transfer:
+                            dt += transfer
+                        advance(dt)
+                        rec.prefill(dt, cohort_input - cached)
+                        if tel:
+                            col.prefill_span(
+                                t0, clock, cohort_input - cached,
+                                fresh, "prefill",
+                            )
+                    else:
+                        # Chunking: no clock movement at admission — the
+                        # prompt is streamed by the chunk iterations below.
+                        cohorts.append(_PrefillCohort(fresh, cohort_input))
                 if tel:
                     col.gauge(
                         clock, len(queue), len(running),
@@ -753,7 +803,9 @@ class ServingEngine:
                 continue
 
             if pending:
-                advance(pending[0].arrival_s - clock)
+                dt = pending[0].arrival_s - clock
+                advance(dt)
+                idle_s += dt
                 if tel:
                     col.gauge(
                         clock, len(queue), len(running),
@@ -774,4 +826,7 @@ class ServingEngine:
 
         if depth_acc > 0.0:
             depth_sketch.observe(cur_depth, depth_acc)
-        return start, clock, depth_area, max_depth, preemptions, depth_sketch
+        return (
+            start, clock, depth_area, max_depth, preemptions, depth_sketch,
+            handoffs, handoff_bytes, idle_s,
+        )

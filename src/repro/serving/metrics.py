@@ -424,6 +424,12 @@ class ServingReport:
     remote_hit_tokens: int = dataclasses.field(default=0, kw_only=True)
     transferred_bytes: float = dataclasses.field(default=0.0, kw_only=True)
     kv_transfers: int = dataclasses.field(default=0, kw_only=True)
+    #: disaggregation counters (all zero without a phase-split fleet)
+    handoffs: int = dataclasses.field(default=0, kw_only=True)
+    handoff_bytes: float = dataclasses.field(default=0.0, kw_only=True)
+    #: seconds spent pricing work (makespan minus arrival idle); summed
+    #: across replicas in a cluster merge, so divide per replica
+    busy_s: float = dataclasses.field(default=0.0, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.stats.n and self.makespan_s <= 0:
@@ -572,6 +578,10 @@ class ServingReport:
             payload["transferred_bytes"] = self.transferred_bytes
             payload["kv_transfers"] = self.kv_transfers
             payload["remote_prefix_hit_rate"] = self.remote_prefix_hit_rate
+        if self.handoffs:
+            # And only disaggregated fleets grow the handoff keys.
+            payload["n_handoffs"] = self.handoffs
+            payload["handoff_bytes"] = self.handoff_bytes
         if slo is not None:
             payload["slo_ttft_s"] = slo.ttft_s
             payload["slo_tpot_s"] = slo.tpot_s
@@ -605,6 +615,9 @@ class EngineStats:
     remote_hit_tokens: int = 0
     transferred_bytes: float = 0.0
     kv_transfers: int = 0
+    handoffs: int = 0
+    handoff_bytes: float = 0.0
+    busy_s: float = 0.0
 
     @property
     def makespan_s(self) -> float:
@@ -626,6 +639,9 @@ class EngineStats:
             remote_hit_tokens=self.remote_hit_tokens,
             transferred_bytes=self.transferred_bytes,
             kv_transfers=self.kv_transfers,
+            handoffs=self.handoffs,
+            handoff_bytes=self.handoff_bytes,
+            busy_s=self.busy_s,
         )
 
     @classmethod
@@ -664,4 +680,7 @@ class EngineStats:
             remote_hit_tokens=sum(p.remote_hit_tokens for p in parts),
             transferred_bytes=sum(p.transferred_bytes for p in parts),
             kv_transfers=sum(p.kv_transfers for p in parts),
+            handoffs=sum(p.handoffs for p in parts),
+            handoff_bytes=sum(p.handoff_bytes for p in parts),
+            busy_s=sum(p.busy_s for p in parts),
         )

@@ -40,12 +40,40 @@ from repro.workloads.requests import TimedRequest, Trace
 #: estimated seconds one replica needs to serve a request end to end
 ServiceTimeEstimate = Callable[[TimedRequest], float]
 
+#: either one estimate shared by every replica (a homogeneous fleet) or
+#: one per replica (heterogeneous node kinds price differently)
+ServiceTimeEstimates = ServiceTimeEstimate | Sequence[ServiceTimeEstimate]
+
 #: extracts the affinity key of a request (hashed to pick a replica)
 AffinityKey = Callable[[TimedRequest], object]
 
 #: seconds of prefill a replica saves by reusing ``hit_tokens`` of
 #: cached prefix (the cluster wires in the engines' own cost model)
 PrefixSavingsEstimate = Callable[[int], float]
+
+
+def _per_replica(
+    estimate: "ServiceTimeEstimate | Sequence[ServiceTimeEstimate]",
+    n_replicas: int,
+    what: str = "service_time",
+) -> list[ServiceTimeEstimate]:
+    """Normalize a shared-or-per-replica estimate to one entry per replica.
+
+    A single callable fans out to every replica (the homogeneous case —
+    identical floats, so pre-heterogeneity assignments are preserved bit
+    for bit); a sequence must match the fleet size exactly.
+    """
+    if callable(estimate):
+        return [estimate] * n_replicas
+    estimates = list(estimate)
+    if len(estimates) != n_replicas:
+        raise ValueError(
+            f"got {len(estimates)} {what} estimates for "
+            f"{n_replicas} replicas"
+        )
+    if not all(callable(e) for e in estimates):
+        raise TypeError(f"every {what} estimate must be callable")
+    return estimates
 
 
 class Router(abc.ABC):
@@ -128,9 +156,12 @@ class LeastOutstandingRouter(Router):
 
     name = "least-loaded"
 
-    def __init__(self, n_replicas: int, service_time: ServiceTimeEstimate):
+    def __init__(self, n_replicas: int, service_time: ServiceTimeEstimates):
         super().__init__(n_replicas)
-        self.service_time = service_time
+        #: per-replica estimates — a heterogeneous fleet prices the same
+        #: request differently on different node kinds, so the virtual
+        #: queue must ask the *chosen* replica's cost model
+        self.service_times = _per_replica(service_time, n_replicas)
         self._in_flight: list[list[float]] = [[] for _ in range(n_replicas)]
         self._busy_until = [0.0] * n_replicas
 
@@ -150,7 +181,7 @@ class LeastOutstandingRouter(Router):
             range(self.n_replicas), key=lambda i: (self.outstanding(i, now), i)
         )
         begin = max(now, self._busy_until[replica])
-        finish = begin + self.service_time(request)
+        finish = begin + self.service_times[replica](request)
         self._busy_until[replica] = finish
         self._in_flight[replica].append(finish)
         return replica
@@ -239,11 +270,17 @@ class CacheAwareRouter(LeastOutstandingRouter):
     def __init__(
         self,
         n_replicas: int,
-        service_time: ServiceTimeEstimate,
+        service_time: ServiceTimeEstimates,
         prefix_savings: PrefixSavingsEstimate | None = None,
     ):
         super().__init__(n_replicas, service_time)
-        self.prefix_savings = prefix_savings
+        #: per-replica like the parent's service times: a warm prefix is
+        #: worth whatever *that* node kind would spend recomputing it
+        self.prefix_savings = (
+            None
+            if prefix_savings is None
+            else _per_replica(prefix_savings, n_replicas, "prefix_savings")
+        )
         #: session_id -> (replica of the last turn, conversation tokens)
         self._sessions: dict[object, tuple[int, int]] = {}
 
@@ -263,7 +300,7 @@ class CacheAwareRouter(LeastOutstandingRouter):
         hit_tokens = min(home[1], request.input_len - 1)
         if hit_tokens < 1:
             return 0.0
-        return self.prefix_savings(hit_tokens)
+        return self.prefix_savings[replica](hit_tokens)
 
     def choose(self, request: TimedRequest) -> int:
         now = request.arrival_s
@@ -280,7 +317,7 @@ class CacheAwareRouter(LeastOutstandingRouter):
         # the in-flight list, bounding its growth).
         self.outstanding(replica, now)
         begin = max(now, self._busy_until[replica])
-        finish = begin + self.service_time(request)
+        finish = begin + self.service_times[replica](request)
         self._busy_until[replica] = finish
         self._in_flight[replica].append(finish)
         session = request.session_id
@@ -291,6 +328,148 @@ class CacheAwareRouter(LeastOutstandingRouter):
                 replica, request.input_len + request.output_len
             )
         return replica
+
+
+#: phases a replica may own in a disaggregated fleet
+PHASE_NAMES: tuple[str, ...] = ("prefill", "decode", "both")
+
+
+class DisaggregatedRouter(Router):
+    """Phase-pair routing for a prefill/decode-disaggregated fleet.
+
+    Instead of one replica per request, this router picks a *pair*: the
+    prefill-capable replica that produces the first token and the
+    decode-capable replica that generates the tail.  A ``both`` replica
+    may serve a request *colocated* (it is its own pair); a ``decode``
+    replica only ever receives continuations, whose KV arrives over the
+    priced ``link_gbps`` wire — the handoff estimate is part of the
+    score, so a slow link correctly pushes the router back toward
+    colocated serving.
+
+    Scoring mirrors :class:`LeastOutstandingRouter`'s virtual
+    single-server queues, but in phase-split form.  For prefill replica
+    ``p``: ``t_first = max(now, busy[p]) + prefill_time[p](r)`` — the
+    estimated TTFT.  A colocated candidate scores ``t_first`` and would
+    occupy ``p`` through its decode tail too; a split candidate with
+    decode replica ``d`` scores ``max(t_first + handoff_time[d](r),
+    busy[d])`` — when the tail could *start* — and occupies ``p`` only
+    through prefill, which is exactly the interference-removal
+    disaggregation buys.  Ties break toward the lowest ``(p, d)``, so
+    assignment is fully deterministic.  On an all-``both`` fleet every
+    pair is colocated and the router degrades to TTFT-greedy
+    least-backlog routing (usable single-stage).
+
+    Not in :data:`ROUTER_NAMES`: the classic routers assign one replica
+    per request and work under any cluster, while this one needs the
+    cluster engine's two-stage orchestration to honor its pairs —
+    :func:`~repro.serving.cluster.build_cluster` constructs it when
+    ``router="disaggregated"``.
+    """
+
+    name = "disaggregated"
+
+    def __init__(
+        self,
+        n_replicas: int,
+        phases: Sequence[str],
+        prefill_time: ServiceTimeEstimates,
+        decode_time: ServiceTimeEstimates,
+        handoff_time: ServiceTimeEstimates,
+    ):
+        super().__init__(n_replicas)
+        phases = tuple(phases)
+        if len(phases) != n_replicas:
+            raise ValueError(
+                f"got {len(phases)} phases for {n_replicas} replicas"
+            )
+        unknown = sorted(set(phases) - set(PHASE_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown phase(s) {unknown}; "
+                f"available: {', '.join(PHASE_NAMES)}"
+            )
+        self.phases = phases
+        self._prefill_side = [
+            i for i, ph in enumerate(phases) if ph != "decode"
+        ]
+        self._decode_only = [
+            i for i, ph in enumerate(phases) if ph == "decode"
+        ]
+        if not self._prefill_side:
+            raise ValueError("a fleet needs a prefill-capable replica")
+        if not any(ph != "prefill" for ph in phases):
+            raise ValueError("a fleet needs a decode-capable replica")
+        self.prefill_times = _per_replica(
+            prefill_time, n_replicas, "prefill_time"
+        )
+        self.decode_times = _per_replica(
+            decode_time, n_replicas, "decode_time"
+        )
+        self.handoff_times = _per_replica(
+            handoff_time, n_replicas, "handoff_time"
+        )
+        self._busy_until = [0.0] * n_replicas
+
+    def reset(self) -> None:
+        self._busy_until = [0.0] * self.n_replicas
+
+    def choose_pair(self, request: TimedRequest) -> tuple[int, int]:
+        """The ``(prefill_replica, decode_replica)`` pair for ``request``.
+
+        Updates the virtual queues, so call exactly once per request in
+        arrival order (:meth:`assign_pairs` does).
+        """
+        now = request.arrival_s
+        busy = self._busy_until
+        # Ranked by (score, t_first, p, d): when a saturated decode side
+        # makes every pair's score the shared decode backlog, the
+        # t_first key still spreads prefills over the prefill side
+        # instead of letting the index tie-break pile them on one node.
+        best: tuple[float, float, int, int] | None = None
+        for p in self._prefill_side:
+            t_first = max(now, busy[p]) + self.prefill_times[p](request)
+            if self.phases[p] == "both":
+                candidate = (t_first, t_first, p, p)
+                if best is None or candidate < best:
+                    best = candidate
+            for d in self._decode_only:
+                score = max(
+                    t_first + self.handoff_times[d](request), busy[d]
+                )
+                candidate = (score, t_first, p, d)
+                if best is None or candidate < best:
+                    best = candidate
+        assert best is not None  # __init__ guarantees a prefill side
+        score, best_first, p, d = best
+        if p == d:
+            # Colocated: one node owns prefill and the decode tail.
+            busy[p] = best_first + self.decode_times[p](request)
+        else:
+            busy[p] = best_first
+            busy[d] = score + self.decode_times[d](request)
+        return p, d
+
+    def choose(self, request: TimedRequest) -> int:
+        """Single-replica view: the pair's prefill home.
+
+        Lets an all-``both`` fleet use this router through the ordinary
+        single-stage :meth:`Router.assign` path (every pair is colocated
+        there, so the prefill home *is* the whole assignment).
+        """
+        return self.choose_pair(request)[0]
+
+    def assign_pairs(self, trace: Trace) -> tuple[tuple[int, int], ...]:
+        """Route a whole trace in arrival order, keeping both halves."""
+        pairs = []
+        for request in trace.requests:
+            p, d = self.choose_pair(request)
+            if not (0 <= p < self.n_replicas and 0 <= d < self.n_replicas):
+                raise ValueError(
+                    f"router {self.name!r} chose pair ({p}, {d}) "
+                    f"of {self.n_replicas}"
+                )
+            pairs.append((p, d))
+        return tuple(pairs)
 
 
 #: router names accepted by :func:`build_router`, in presentation order
@@ -305,16 +484,24 @@ ROUTER_NAMES: tuple[str, ...] = (
 def build_router(
     name: str,
     n_replicas: int,
-    service_time: ServiceTimeEstimate | None = None,
+    service_time: ServiceTimeEstimates | None = None,
     affinity_key: AffinityKey | None = None,
-    prefix_savings: PrefixSavingsEstimate | None = None,
+    prefix_savings: (
+        PrefixSavingsEstimate | Sequence[PrefixSavingsEstimate] | None
+    ) = None,
 ) -> Router:
     """Construct a router by registry name.
 
     ``least-loaded`` and ``cache-aware`` require ``service_time`` (the
-    cluster passes its engines' cost model); the other policies ignore
-    it.  ``cache-aware`` additionally accepts ``prefix_savings`` — left
-    ``None`` it degrades to seconds-based least-outstanding routing.
+    cluster passes its engines' cost models — one shared callable for a
+    homogeneous fleet or one per replica for mixed node kinds); the
+    other policies ignore it.  ``cache-aware`` additionally accepts
+    ``prefix_savings`` (shared or per-replica likewise) — left ``None``
+    it degrades to seconds-based least-outstanding routing.
+
+    The ``disaggregated`` phase-pair router is *not* built here: it
+    needs the fleet's phases and three per-replica estimators, which
+    only :func:`~repro.serving.cluster.build_cluster` has.
     """
     if name == RoundRobinRouter.name:
         return RoundRobinRouter(n_replicas)

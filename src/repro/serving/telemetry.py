@@ -53,8 +53,10 @@ from collections.abc import Sequence
 from repro.serving.metrics import RequestStats, RequestTiming, SloSpec
 from repro.serving.schedulers import RunningRequest
 
-#: span kinds a collector may receive (restore = post-preemption re-prefill)
-SPAN_KINDS = ("prefill", "chunk", "restore", "decode")
+#: span kinds a collector may receive (restore = post-preemption
+#: re-prefill; handoff = a disaggregated continuation's KV landing over
+#: the wire, always 0 tokens — nothing is computed during one)
+SPAN_KINDS = ("prefill", "chunk", "restore", "handoff", "decode")
 
 
 class Collector:
@@ -84,7 +86,8 @@ class Collector:
         members: Sequence[RunningRequest],
         kind: str,
     ) -> None:
-        """A priced prefill stretch: monolithic, one chunk, or a restore."""
+        """A priced prefill-side stretch: monolithic prefill, one chunk,
+        a restore, or a zero-token KV handoff."""
 
     def decode_span(
         self,

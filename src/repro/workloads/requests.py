@@ -67,14 +67,44 @@ class Batch:
 
 @dataclasses.dataclass(frozen=True)
 class TimedRequest:
-    """A request stamped with its arrival time (request-level serving)."""
+    """A request stamped with its arrival time (request-level serving).
+
+    The three handoff fields describe a *continuation*: a request whose
+    prompt KV was already computed on another replica (a disaggregated
+    prefill node) and arrives over the wire instead of being recomputed.
+    ``prefilled_tokens`` is all-or-nothing — either 0 (an ordinary
+    request) or the full ``input_len`` (the continuation of a finished
+    prefill); ``handoff_s``/``handoff_bytes`` price the transfer that
+    the destination engine serializes into its clock at admission.
+    Continuations are in-memory only: trace JSON never carries them.
+    """
 
     request: Request
     arrival_s: float
+    #: prompt tokens whose KV arrives precomputed (0 or ``input_len``)
+    prefilled_tokens: int = 0
+    #: wire seconds the KV handoff costs the destination clock
+    handoff_s: float = 0.0
+    #: KV + state bytes moved by the handoff (counter, not a cost)
+    handoff_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival time must be non-negative")
+        if self.prefilled_tokens not in (0, self.request.input_len):
+            raise ValueError(
+                "prefilled_tokens is all-or-nothing: 0 or the full "
+                f"input_len, got {self.prefilled_tokens} of "
+                f"{self.request.input_len}"
+            )
+        if self.handoff_s < 0 or self.handoff_bytes < 0:
+            raise ValueError("handoff cost fields must be non-negative")
+        if self.prefilled_tokens == 0 and (
+            self.handoff_s or self.handoff_bytes
+        ):
+            raise ValueError(
+                "handoff costs require prefilled_tokens (nothing moved)"
+            )
 
     @property
     def request_id(self) -> int:

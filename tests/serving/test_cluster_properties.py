@@ -1,0 +1,272 @@
+"""Cluster-level property harness: seeded fuzz over the config lattice.
+
+Fifty seeded random configurations — scheduler x trace shape x router x
+node mix x phase split — each serve a randomized arrival trace, and the
+harness asserts the properties that make any of them *a cluster run*:
+
+* request conservation — every trace request appears in the merged
+  record exactly once, with its original lengths and arrival, whether it
+  ran whole on one replica or as a prefill half stitched to a decode
+  half;
+* monotone clocks — per-request lifecycle timestamps are ordered and
+  the merged span covers every event on every replica;
+* token and handoff accounting — decode iterations generate exactly the
+  trace's output tokens; the merged handoff count equals the number of
+  split lifecycles; handed-off bytes only flow when phases split;
+* refcount conservation at drain — every paged/prefix replica's block
+  pool frees every block it ever claimed once the trace drains;
+* determinism — serving the identical config twice is payload-identical,
+  in-process and across a ``ProcessPoolExecutor`` boundary (the
+  serialized-rebuild path a parallel sweep runner takes).
+
+The generators (:func:`random_trace`, :func:`random_config`,
+:func:`build_from_config`) are module-level exports on purpose: future
+suites can draw from the same seeded lattice instead of growing their
+own, slightly different one.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import (
+    ROUTER_NAMES,
+    SloSpec,
+    build_cluster,
+    fixed_lengths,
+    gamma_trace,
+    lognormal_lengths,
+    multiturn_chat_trace,
+    poisson_trace,
+)
+
+N_CONFIGS = 50
+
+SLO = SloSpec(ttft_s=2.0, tpot_s=0.018)
+
+#: schedulers the fuzzer draws from (roomy capacity; the tight,
+#: preempting variants have their own dedicated invariant suites)
+FUZZ_SCHEDULERS = (
+    "static", "fcfs", "memory", "chunked", "overlap", "paged", "prefix",
+)
+
+#: every node design the fleet generator can mix
+FUZZ_KINDS = tuple(SystemKind)
+
+
+def random_trace(rng: random.Random):
+    """One randomized arrival trace (shape, load, lengths, and seed)."""
+    shape = rng.choice(("poisson", "gamma", "ragged", "chat"))
+    seed = rng.randrange(1_000_000)
+    if shape == "chat":
+        return multiturn_chat_trace(
+            rng.uniform(1.0, 4.0),
+            rng.randrange(3, 7),
+            turns=3,
+            first_input=rng.choice((96, 128)),
+            user_tokens=24,
+            output_len=rng.choice((16, 24)),
+            think_s=1.0,
+            seed=seed,
+        )
+    qps = rng.uniform(4.0, 40.0)
+    n_requests = rng.randrange(8, 49)
+    if shape == "ragged":
+        lengths = lognormal_lengths(rng.choice((96, 192)), 24, 0.6)
+    else:
+        lengths = fixed_lengths(
+            rng.choice((128, 256)), rng.choice((16, 32))
+        )
+    if shape == "gamma":
+        return gamma_trace(
+            qps, n_requests, cv=rng.uniform(1.5, 3.5),
+            lengths=lengths, seed=seed,
+        )
+    return poisson_trace(qps, n_requests, lengths, seed=seed)
+
+
+def random_config(rng: random.Random) -> dict:
+    """One randomized cluster configuration as ``build_cluster`` kwargs.
+
+    Covers the whole lattice the cluster layer exposes: replica count,
+    every classic router plus the disaggregated one, homogeneous and
+    mixed node kinds, optional phase splits (always with at least one
+    prefill-capable and one decode-capable node — the only lattice
+    constraint), and the shared prefix tier where it is legal
+    (homogeneous prefix fleets).
+    """
+    n_replicas = rng.randrange(1, 5)
+    router = rng.choice((*ROUTER_NAMES, "disaggregated"))
+    scheduler = rng.choice(FUZZ_SCHEDULERS)
+    if rng.random() < 0.5:
+        kinds = (rng.choice(FUZZ_KINDS),) * n_replicas
+    else:
+        kinds = tuple(
+            rng.choice(FUZZ_KINDS) for _ in range(n_replicas)
+        )
+    phases = None
+    if router == "disaggregated" and n_replicas >= 2 and rng.random() < 0.7:
+        n_decode = rng.randrange(1, n_replicas)
+        drawn = ["decode"] * n_decode + [
+            rng.choice(("prefill", "both"))
+            for _ in range(n_replicas - n_decode)
+        ]
+        rng.shuffle(drawn)
+        phases = tuple(drawn)
+    shared_tier = (
+        scheduler == "prefix"
+        and router in ROUTER_NAMES
+        and len(set(kinds)) == 1
+        and rng.random() < 0.5
+    )
+    return dict(
+        n_replicas=n_replicas,
+        router=router,
+        scheduler=scheduler,
+        node_kinds=tuple(kind.value for kind in kinds),
+        phases=phases,
+        shared_tier=shared_tier,
+        max_batch=rng.choice((4, 8)),
+        link_gbps=rng.choice((50.0, 100.0, 400.0)),
+    )
+
+
+def build_from_config(config: dict):
+    """Instantiate the cluster a :func:`random_config` dict describes."""
+    built = {
+        kind: build_system(SystemKind(kind), "small")
+        for kind in set(config["node_kinds"])
+    }
+    systems = tuple(built[kind] for kind in config["node_kinds"])
+    return build_cluster(
+        systems[0],
+        spec_for("Zamba2"),
+        config["n_replicas"],
+        router=config["router"],
+        scheduler=config["scheduler"],
+        max_batch=config["max_batch"],
+        shared_tier=config["shared_tier"],
+        link_gbps=config["link_gbps"],
+        node_kinds=systems,
+        phases=config["phases"],
+    )
+
+
+def seeded_case(index: int):
+    """Deterministically regenerate fuzz case ``index``: (trace, config)."""
+    rng = random.Random(0xC1A0 + index)
+    return random_trace(rng), random_config(rng)
+
+
+def run_payload(index: int) -> dict:
+    """Serve fuzz case ``index`` from scratch and return its payload.
+
+    Module-level (picklable) on purpose: the determinism test calls it
+    both in-process and through a ``ProcessPoolExecutor``.
+    """
+    trace, config = seeded_case(index)
+    return build_from_config(config).run(trace).to_payload(SLO)
+
+
+@pytest.mark.parametrize("index", range(N_CONFIGS))
+class TestClusterProperties:
+    def serve(self, index):
+        trace, config = seeded_case(index)
+        record = build_from_config(config).serve(trace)
+        return trace, config, record
+
+    def test_request_conservation(self, index):
+        """Every request served exactly once with its original identity,
+        split lifecycles included."""
+        trace, _, record = self.serve(index)
+        merged = record.merged()
+        assert sorted(t.request_id for t in merged.timings) == [
+            r.request_id for r in trace.requests
+        ]
+        originals = {r.request_id: r for r in trace.requests}
+        for timing in merged.timings:
+            original = originals[timing.request_id]
+            assert timing.input_len == original.input_len
+            assert timing.output_len == original.output_len
+            assert timing.arrival_s == original.arrival_s
+
+    def test_monotone_clocks(self, index):
+        """Lifecycle timestamps ordered per request; the merged span
+        covers every replica's events."""
+        _, _, record = self.serve(index)
+        merged = record.merged()
+        for t in merged.timings:
+            assert (
+                t.arrival_s <= t.admitted_s
+                <= t.first_token_s <= t.finished_s
+            )
+        assert merged.end_s == max(t.finished_s for t in merged.timings)
+        for replica in record.replicas:
+            if replica is None:
+                continue
+            assert replica.start_s <= replica.end_s
+            assert 0.0 <= replica.busy_s <= (
+                replica.end_s - replica.start_s
+            ) + 1e-9
+            assert all(s > 0 for s in replica.iteration_seconds)
+            assert all(s > 0 for s in replica.prefill_seconds)
+            assert all(n >= 1 for n in replica.prefill_tokens)
+
+    def test_token_and_handoff_accounting(self, index):
+        """Outputs decoded exactly once; handoffs equal split lifecycles;
+        bytes move only when phases split."""
+        trace, config, record = self.serve(index)
+        merged = record.merged()
+        assert sum(merged.decode_tokens) == trace.total_output_tokens
+        assert merged.handoffs == len(record.split_ids)
+        assert merged.handoffs == sum(
+            r.handoffs for r in record.replicas if r is not None
+        )
+        split = config["phases"] is not None and any(
+            phase != "both" for phase in config["phases"]
+        )
+        if not split:
+            assert merged.handoffs == 0
+            assert merged.handoff_bytes == 0.0
+        if merged.handoffs:
+            assert merged.handoff_bytes > 0.0
+
+    def test_pool_refcounts_conserved_at_drain(self, index):
+        """Paged/prefix replicas free every block they ever claimed."""
+        trace, config, _ = self.serve(index)
+        if config["scheduler"] not in ("paged", "prefix"):
+            pytest.skip("only block-pool schedulers carry refcounts")
+        cluster = build_from_config(config)
+        cluster.serve(trace)
+        for engine in cluster.replicas:
+            pool = engine.scheduler.pool
+            assert pool.n_resident == 0
+            assert pool.blocks_in_use == 0
+            assert pool.allocated_blocks == pool.freed_blocks
+
+    def test_serve_and_run_agree(self, index):
+        """The streaming path reports exactly what the event path does
+        (split orchestration folds through serve, so this pins both)."""
+        trace, config, record = self.serve(index)
+        streamed = build_from_config(config).run(trace).to_payload(SLO)
+        assert streamed == record.report().to_payload(SLO)
+
+    def test_rerun_is_deterministic(self, index):
+        """A rebuilt cluster serves the identical payload."""
+        assert run_payload(index) == run_payload(index)
+
+
+#: a spread of lattice corners re-run across a process boundary — the
+#: pickled-config rebuild a parallel sweep runner performs
+POOL_SUBSET = (0, 7, 13, 21, 34, 49)
+
+
+def test_process_pool_matches_serial():
+    """Serial and ProcessPool execution produce identical payloads."""
+    serial = [run_payload(i) for i in POOL_SUBSET]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pooled = list(pool.map(run_payload, POOL_SUBSET))
+    assert pooled == serial

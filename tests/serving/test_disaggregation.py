@@ -1,0 +1,163 @@
+"""Disaggregation degeneracies: the split machinery must cost nothing
+when it is switched off, and the wire must only ever price the handoff.
+
+Three collapses pin the feature to the PR-9 cluster it grew out of:
+
+* a "heterogeneous" fleet whose node kinds are all identical and whose
+  phases are all ``both`` is EngineTrace-bit-exact with the plain
+  homogeneous cluster under every router — the node-kind and phase
+  plumbing is pure bookkeeping until it is actually exercised;
+* the disaggregated router degenerates to a working colocated router:
+  on an all-``both`` fleet it never splits, and on one replica it is
+  bit-exact with the bare engine;
+* an infinite link prices the handoff at exactly zero seconds, and a
+  finite link's cost lands entirely *after* the first token: per-request
+  TTFT is bit-equal between inf-link and finite-link runs of the same
+  split fleet, only completion times move.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.models import spec_for
+from repro.perf.system import SystemKind, build_system
+from repro.serving import (
+    ROUTER_NAMES,
+    ServingEngine,
+    build_cluster,
+    build_scheduler,
+    fixed_lengths,
+    gamma_trace,
+    poisson_trace,
+)
+from repro.serving.costs import IterationCostModel
+
+
+@pytest.fixture(scope="module")
+def zamba_spec():
+    return spec_for("Zamba2")
+
+
+@pytest.fixture(scope="module")
+def pimba_system():
+    return build_system(SystemKind.PIMBA, "small")
+
+
+@pytest.fixture(scope="module")
+def gpu_system():
+    return build_system(SystemKind.GPU, "small")
+
+
+def split_cluster(gpu, pimba, spec, link_gbps):
+    """The canonical 4-node split fleet: GPU prefill, Pimba decode."""
+    return build_cluster(
+        gpu, spec, 4,
+        router="disaggregated",
+        scheduler="fcfs",
+        max_batch=8,
+        link_gbps=link_gbps,
+        node_kinds=(gpu, gpu, pimba, pimba),
+        phases=("prefill", "prefill", "decode", "decode"),
+    )
+
+
+class TestHomogeneousDegeneracy:
+    """Identical kinds + all-``both`` phases == the plain cluster."""
+
+    @pytest.mark.parametrize("router", ROUTER_NAMES)
+    def test_bit_exact_under_every_router(
+        self, router, pimba_system, zamba_spec
+    ):
+        trace = gamma_trace(10.0, 24, cv=3.0, seed=4)
+        plain = build_cluster(
+            pimba_system, zamba_spec, 3,
+            router=router, scheduler="fcfs", max_batch=8,
+        ).serve(trace)
+        hetero = build_cluster(
+            pimba_system, zamba_spec, 3,
+            router=router, scheduler="fcfs", max_batch=8,
+            node_kinds=(pimba_system,) * 3,
+            phases=("both",) * 3,
+        ).serve(trace)
+        assert hetero.assignments == plain.assignments
+        for ours, theirs in zip(hetero.replicas, plain.replicas):
+            if ours is None or theirs is None:
+                assert ours is None and theirs is None
+                continue
+            assert dataclasses.asdict(ours) == dataclasses.asdict(theirs)
+        assert not hetero.split_ids
+        assert hetero.stitched == ()
+
+    def test_disaggregated_router_never_splits_all_both(
+        self, pimba_system, zamba_spec
+    ):
+        """With wire costs > 0 a colocated lifecycle always beats the
+        same lifecycle plus a priced handoff, so an all-``both`` fleet
+        under the disaggregated router stays whole."""
+        trace = poisson_trace(12.0, 32, fixed_lengths(256, 32), seed=7)
+        record = build_cluster(
+            pimba_system, zamba_spec, 3,
+            router="disaggregated", scheduler="fcfs", max_batch=8,
+        ).serve(trace)
+        assert not record.split_ids
+        assert record.merged().handoffs == 0
+
+    def test_one_replica_is_the_bare_engine(self, pimba_system, zamba_spec):
+        trace = gamma_trace(10.0, 24, cv=3.0, seed=4)
+        bare = ServingEngine(
+            pimba_system, zamba_spec,
+            build_scheduler("fcfs", pimba_system, zamba_spec, max_batch=8),
+        ).serve(trace)
+        cluster = build_cluster(
+            pimba_system, zamba_spec, 1,
+            router="disaggregated", scheduler="fcfs", max_batch=8,
+        ).serve(trace)
+        assert cluster.merged() == bare
+
+
+class TestZeroCostLink:
+    """``link_gbps=inf`` prices the handoff at exactly zero."""
+
+    def test_transfer_seconds_is_exactly_zero(self, pimba_system, zamba_spec):
+        cost = IterationCostModel(
+            pimba_system, zamba_spec, link_gbps=float("inf")
+        )
+        assert cost.transfer_seconds(0.0) == 0.0
+        assert cost.transfer_seconds(1.0e12) == 0.0
+
+    def test_nonpositive_link_rejected(self, pimba_system, zamba_spec):
+        with pytest.raises(ValueError):
+            IterationCostModel(pimba_system, zamba_spec, link_gbps=0.0)
+        with pytest.raises(ValueError):
+            IterationCostModel(pimba_system, zamba_spec, link_gbps=-1.0)
+
+    def test_wire_cost_never_touches_first_tokens(
+        self, gpu_system, pimba_system, zamba_spec
+    ):
+        """The handoff is priced into the decode half only: the same
+        split fleet over an infinite vs a slow finite link produces
+        bit-equal per-request TTFTs, completion never improves under
+        the finite wire, and the TTFT ordering is identical."""
+        trace = poisson_trace(8.0, 32, fixed_lengths(1024, 64), seed=11)
+        free = split_cluster(
+            gpu_system, pimba_system, zamba_spec, float("inf")
+        ).serve(trace)
+        priced = split_cluster(
+            gpu_system, pimba_system, zamba_spec, 25.0
+        ).serve(trace)
+        assert len(free.split_ids) == len(trace.requests)
+        assert free.split_ids == priced.split_ids
+        free_t = {t.request_id: t for t in free.merged().timings}
+        priced_t = {t.request_id: t for t in priced.merged().timings}
+        for rid, ours in free_t.items():
+            theirs = priced_t[rid]
+            assert ours.first_token_s == theirs.first_token_s
+            assert ours.admitted_s == theirs.admitted_s
+            assert ours.finished_s <= theirs.finished_s
+        order = sorted(free_t, key=lambda r: (free_t[r].first_token_s, r))
+        assert order == sorted(
+            priced_t, key=lambda r: (priced_t[r].first_token_s, r)
+        )
+        assert free.merged().handoff_bytes == priced.merged().handoff_bytes
+        assert free.merged().handoffs == priced.merged().handoffs

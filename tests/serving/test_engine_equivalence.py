@@ -41,9 +41,31 @@ from repro.serving import (
     multiturn_chat_trace,
     poisson_trace,
 )
-from repro.workloads.requests import Request, TimedRequest
+from repro.workloads.requests import Request, TimedRequest, Trace
 
 BUDGET = 96
+
+
+def _handed_trace():
+    """A mixed stream where every third request is a handed-off decode
+    continuation (its prefill already ran on some prefill replica), so
+    the differential matrix covers the admission path disaggregation
+    adds: handoff delay folded into the clock, decode-only lifecycles
+    interleaved with fresh prefills."""
+    base = poisson_trace(12.0, 32, fixed_lengths(256, 32), seed=5)
+    timed = tuple(
+        TimedRequest(
+            t.request,
+            t.arrival_s,
+            prefilled_tokens=t.request.input_len,
+            handoff_s=0.004,
+            handoff_bytes=2.0e8,
+        )
+        if i % 3 == 0
+        else t
+        for i, t in enumerate(base.requests)
+    )
+    return Trace(timed)
 
 SCHEDULERS = (
     "static", "fcfs", "memory", "chunked", "overlap", "chunked+hbm",
@@ -66,6 +88,10 @@ TRACES = {
         3.0, 6, turns=3, first_input=128, user_tokens=24, output_len=24,
         think_s=1.0, seed=3,
     ),
+    # Handed-off decode continuations (prefilled elsewhere, KV arriving
+    # over a priced wire) interleaved with fresh prefills — the arrivals
+    # a decode-side replica of a disaggregated fleet sees.
+    "handed": _handed_trace,
 }
 
 SLO = SloSpec(ttft_s=2.0, tpot_s=0.018)

@@ -452,3 +452,74 @@ class TestClusterTimeline:
             trace, collector=TimelineCollector()
         ).to_payload(SLO)
         assert watched == bare
+
+
+class TestSplitClusterTimeline:
+    """A disaggregated fleet's timeline carries the handoff story."""
+
+    def split_fleet(self, pimba_system, zamba_spec):
+        return build_cluster(
+            pimba_system, zamba_spec, 2,
+            router="disaggregated",
+            scheduler="fcfs",
+            max_batch=8,
+            phases=("prefill", "decode"),
+        )
+
+    def split_trace(self):
+        return poisson_trace(10.0, 24, fixed_lengths(256, 32), seed=6)
+
+    def test_handoff_spans_land_on_decode_tracks(
+        self, pimba_system, zamba_spec
+    ):
+        collector = TimelineCollector()
+        record = self.split_fleet(pimba_system, zamba_spec).serve(
+            self.split_trace(), collector=collector
+        )
+        by_replica = {t.replica: t for t in collector.timeline.tracks}
+        handoffs = {
+            replica: [s for s in track.spans if s[0] == "handoff"]
+            for replica, track in by_replica.items()
+        }
+        # the prefill side never receives KV; one handoff span covers
+        # every continuation admitted together, so the span *members*
+        # across the decode track re-add to the merged handoff count
+        assert handoffs[0] == []
+        members = sum(len(s[5]) for s in handoffs[1])
+        assert members == record.merged().handoffs
+        assert members == len(record.split_ids) > 0
+        # a handoff moves state, not tokens — priced time, zero work
+        assert all(s[3] == 0 for s in handoffs[1])
+
+    def test_split_span_tokens_still_conserve(
+        self, pimba_system, zamba_spec
+    ):
+        collector = TimelineCollector()
+        record = self.split_fleet(pimba_system, zamba_spec).serve(
+            self.split_trace(), collector=collector
+        )
+        merged = record.merged()
+        spans = [
+            s for t in collector.timeline.tracks for s in t.spans
+        ]
+        prefill = sum(
+            s[3] for s in spans if s[0] not in ("decode", "handoff")
+        )
+        decode = sum(s[3] for s in spans if s[0] == "decode")
+        assert prefill == sum(merged.prefill_tokens)
+        assert decode == sum(merged.decode_tokens)
+        assert validate_trace_events(
+            collector.timeline.to_trace_events()
+        ) == []
+
+    def test_split_observation_does_not_perturb(
+        self, pimba_system, zamba_spec
+    ):
+        trace = self.split_trace()
+        bare = self.split_fleet(pimba_system, zamba_spec).run(
+            trace
+        ).to_payload(SLO)
+        watched = self.split_fleet(pimba_system, zamba_spec).run(
+            trace, collector=TimelineCollector()
+        ).to_payload(SLO)
+        assert watched == bare
